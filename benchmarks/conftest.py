@@ -1,0 +1,38 @@
+"""Benchmark fixtures: output directory and shared configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``. Each benchmark both
+times its experiment (single round — the work is a deterministic
+simulation, not a microbenchmark) and writes the regenerated
+table/figure to ``benchmarks/out/`` and stdout.
+
+Set ``REPRO_FULL=1`` for paper-density sweeps (N step 10, K extent 30);
+the default smoke resolution preserves every qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def cfg() -> ExperimentConfig:
+    """The paper's configuration (16K L1 / 2M L2, 360 MHz)."""
+    return ExperimentConfig()
+
+
+def emit(out_dir: pathlib.Path, name: str, text: str) -> None:
+    """Write a rendered experiment to disk and stdout."""
+    (out_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")

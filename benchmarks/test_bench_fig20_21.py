@@ -1,0 +1,42 @@
+"""Figures 20-21: RESID at larger problem sizes (N = 400..700, 450 MHz).
+
+The paper's robustness check: tiling keeps working as problem sizes
+grow ("should remain effective even as problem sizes grow
+exponentially"). Sizes straddle the L2 group-reuse boundary (N = 362),
+so Orig pays L2 misses everywhere in this range while tiled versions
+keep L2 rates flat.
+"""
+
+import os
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import format_figure, large_resid_series
+from repro.perfmodel.machine import ULTRASPARC2_450
+
+from conftest import emit
+
+
+def _sizes():
+    if os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes"):
+        return list(range(400, 701, 25))
+    return [400, 550, 700]
+
+
+def test_large_resid(benchmark, out_dir):
+    cfg = ExperimentConfig(machine=ULTRASPARC2_450)
+    data = benchmark.pedantic(
+        lambda: large_resid_series(sizes=_sizes(), cfg=cfg),
+        rounds=1, iterations=1)
+    emit(out_dir, "fig20_resid_large_missrates",
+         format_figure(data, "l1_rate", "L1 miss rate (%)")
+         + "\n\n" + format_figure(data, "l2_rate", "L2 miss rate (%)"))
+    emit(out_dir, "fig21_resid_large_mflops",
+         format_figure(data, "mflops", "MFlops (450MHz model)"))
+
+    l2 = data.series("l2_rate")
+    mflops = data.series("mflops")
+    # Beyond the 362 boundary Orig loses L2 group reuse at every size;
+    # padded tiling holds L2 rates down and performance up.
+    mean = lambda xs: sum(xs) / len(xs)
+    assert mean(l2["GcdPad"]) <= mean(l2["Orig"])
+    assert mean(mflops["GcdPad"]) > mean(mflops["Orig"])

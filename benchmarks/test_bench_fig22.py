@@ -1,0 +1,21 @@
+"""Figure 22: memory increase from padding (JACOBI).
+
+Paper values: GcdPad averages 14.7% extra memory and Pad 4.7% on the
+N x N x 30 experiment arrays; against cubic-array memory the same pad
+volumes are ~1.4% and ~0.5%.
+"""
+
+from repro.experiments.fig22 import fig22, format_fig22
+
+from conftest import emit
+
+
+def test_fig22(benchmark, out_dir, cfg):
+    res = benchmark.pedantic(lambda: fig22(cfg=cfg), rounds=1, iterations=1)
+    emit(out_dir, "fig22_memory_overhead", format_fig22(res))
+
+    assert res.avg_pad_k30 < res.avg_gcdpad_k30
+    # Same ballpark as the paper's 14.7% / 4.7%.
+    assert 5.0 < res.avg_gcdpad_k30 < 30.0
+    assert 0.5 < res.avg_pad_k30 < 12.0
+    assert res.avg_gcdpad_cubic < res.avg_gcdpad_k30 / 3

@@ -1,0 +1,37 @@
+"""Section 1: capacity-threshold verification (2D vs 3D reuse).
+
+Checks the paper's three analytic thresholds by direct simulation: 2D
+Jacobi keeps group reuse to 1024 columns in a 16K cache; 3D Jacobi only
+to 32x32 planes (and 362x362 for the 2M L2, asserted analytically).
+"""
+
+from repro.experiments.report import format_table
+from repro.experiments.section1 import (
+    section1_thresholds,
+    verify_boundary_2d,
+    verify_boundary_3d,
+)
+
+from conftest import emit
+
+
+def test_section1_boundaries(benchmark, out_dir):
+    def run():
+        return verify_boundary_2d(), verify_boundary_3d()
+
+    rates2d, rates3d = benchmark.pedantic(run, rounds=1, iterations=1)
+    th = section1_thresholds()
+
+    rows = [("2D Jacobi, 16K L1", f"N <= {th.max_2d_l1}",
+             " ".join(f"{n}:{r:.2f}" for n, r in sorted(rates2d.items()))),
+            ("3D Jacobi, 16K L1", f"N <= {th.max_3d_l1}",
+             " ".join(f"{n}:{r:.2f}" for n, r in sorted(rates3d.items()))),
+            ("3D Jacobi, 2M L2", f"N <= {th.max_3d_l2}", "(analytic)")]
+    emit(out_dir, "section1_capacity",
+         format_table(["case", "threshold", "trailing-ref hit rates"], rows))
+
+    assert th.max_2d_l1 == 1024 and th.max_3d_l1 == 32 and th.max_3d_l2 == 362
+    ns2 = sorted(rates2d)
+    assert rates2d[ns2[0]] > 0.9 and rates2d[ns2[-1]] < 0.1
+    ns3 = sorted(rates3d)
+    assert rates3d[ns3[0]] > 0.85 and rates3d[ns3[-1]] < 0.1

@@ -1,0 +1,43 @@
+"""Table 1: non-conflicting tile enumeration (and selection speed).
+
+Regenerates the paper's enumeration for a 200x200xM array and a 16K
+cache, and times Euc3D itself — the paper's pitch is that its
+O(log C_s) cost makes per-grid-size selection viable for multigrid.
+"""
+
+from repro.experiments.table1 import format_table1, table1
+
+from conftest import emit
+
+
+def test_table1(benchmark, out_dir):
+    res = benchmark.pedantic(table1, rounds=3, iterations=1)
+    emit(out_dir, "table1", format_table1(res))
+    assert res.selected.tile.as_tuple() == (22, 13)
+
+
+def test_euc3d_selection_speed(benchmark):
+    """Euc3D per-call latency across many array sizes (cache disabled)."""
+    from repro.core.euc3d import _frontier_cached, euc3d
+
+    sizes = list(range(200, 400, 7))
+
+    def run():
+        _frontier_cached.cache_clear()
+        for n in sizes:
+            euc3d(2048, n, n, atd=3)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_lrw_selection_speed(benchmark):
+    """The O(sqrt(C_s)) baseline Euc3D is compared against."""
+    from repro.baselines.lrw import lrw
+
+    sizes = list(range(200, 400, 7))
+
+    def run():
+        for n in sizes:
+            lrw(2048, n, n, atd=3)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

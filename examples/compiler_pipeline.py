@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Drive the loop-nest IR like a compiler pass would.
+
+Builds the paper's Figure 3 nest, checks tiling legality with
+dependence analysis, applies the Figure 6 tiling transformation with a
+tile chosen by Euc3D, and verifies (via the interpreter) that the
+transformed nest touches the same references.
+
+Run:  python examples/compiler_pipeline.py
+"""
+
+from repro import euc3d
+from repro.ir import distance_vectors, iterate
+from repro.ir.interp import reference_trace
+from repro.ir.stencil import jacobi3d_nest
+from repro.ir.transforms import tile
+from repro.layout.array import allocate
+
+
+def main() -> None:
+    nest = jacobi3d_nest()
+    print("Original nest (Figure 3):")
+    print(nest, "\n")
+
+    deps = distance_vectors(nest)
+    print(f"Loop-carried true/anti/output dependences: {len(deps)} "
+          "(A and B are distinct arrays -> tiling J and I is legal)\n")
+
+    sel = euc3d(2048, 200, 200, atd=3)
+    ti, tj = sel.tile.ti, sel.tile.tj
+    print(f"Euc3D (C_s=2048, 200x200xM): tile {ti} x {tj}, "
+          f"cost {sel.cost:.4f}\n")
+
+    tiled = tile(nest, {"J": tj, "I": ti}, tile_order=["J", "I"])
+    print("Tiled nest (Figure 6), emitted as Fortran:")
+    from repro.ir.codegen import emit_fortran
+
+    print(emit_fortran(tiled, "tiled_jacobi3d"), "\n")
+
+    # Verify on a small instance that the transformation only reorders.
+    n = 10
+    specs = allocate([("B", n, n, n), ("A", n, n, n)])
+    original = sorted(reference_trace(nest, {"N": n}, specs))
+    transformed = sorted(reference_trace(tiled, {"N": n}, specs))
+    print(f"Reference multisets identical at N={n}: "
+          f"{original == transformed} "
+          f"({len(original)} references)")
+
+    iters = sum(1 for _ in iterate(tiled, {"N": n}))
+    print(f"Iteration count preserved: {iters == (n - 2) ** 3}")
+
+
+if __name__ == "__main__":
+    main()

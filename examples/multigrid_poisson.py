@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Solve a 3D problem with the MGRID-style multigrid solver.
+
+Demonstrates the Section 4.6 scenario end to end:
+
+* build a grid hierarchy (succession of power-of-two grids — the very
+  structure that defeats time-skewing transforms and motivates cheap
+  per-size tile selection);
+* solve ``A u = v`` with V-cycles, once with the plain finest-grid
+  RESID and once with the paper's tiled schedule (bitwise-identical
+  numerics, different memory behaviour);
+* pick the tile with Euc3D per grid level, as a compiler targeting
+  runtime-sized multigrid arrays would.
+
+Run:  python examples/multigrid_poisson.py [finest_level]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import GridHierarchy, MGSolver, euc3d
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    finest = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    h = GridHierarchy(finest_level=finest)
+    n = h.finest_size
+    print(f"Hierarchy: {' -> '.join(str(s) for s in h.sizes)} "
+          f"(finest {n}^3, {100 * h.work_share(finest):.1f}% of points)\n")
+
+    # Per-level tile selection, the multigrid use case for Euc3D's speed.
+    rows = []
+    for level in h.levels:
+        sz = h.size(level)
+        r = euc3d(2048, sz, sz, atd=3)
+        rows.append([level, f"{sz}^3",
+                     f"{r.tile.ti}x{r.tile.tj}", f"{r.cost:.3f}"])
+    print(format_table(["level", "grid", "Euc3D tile", "cost"], rows,
+                       title="Per-level tile selection (16K L1)"))
+
+    # Right-hand side: a localized source.
+    rng = np.random.default_rng(7)
+    v = np.zeros((n, n, n))
+    v[1:-1, 1:-1, 1:-1] = rng.standard_normal((n - 2,) * 3)
+
+    u_plain, rep_plain = MGSolver(h).solve(v, iterations=5)
+    tile = euc3d(2048, n, n, atd=3).tile
+    u_tiled, rep_tiled = MGSolver(h, resid_tile=tile.as_tuple()).solve(
+        v, iterations=5)
+
+    print("\nResidual norms per V-cycle (plain finest RESID):")
+    print("  " + "  ".join(f"{x:.3e}" for x in rep_plain.residual_norms))
+    print(f"Average reduction per cycle: "
+          f"{rep_plain.reduction_per_iter:.3f}")
+    print(f"\nTiled finest RESID gives the identical solution: "
+          f"{np.array_equal(u_plain, u_tiled)}")
+    ops = rep_plain.ops
+    print(f"Finest-level operator calls: {ops.counts[finest]}")
+
+
+if __name__ == "__main__":
+    main()

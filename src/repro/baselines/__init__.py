@@ -1,0 +1,19 @@
+"""Related-work baselines the paper compares against (Sections 3 and 5).
+
+* :func:`~repro.baselines.lrw.lrw` — Lam, Rothberg & Wolf's largest
+  non-conflicting square tile (ASPLOS'91), O(sqrt(C_s)) search;
+* :func:`~repro.baselines.ecs.ecs` — "effective cache size": tile for a
+  small fixed fraction (~10%) of the cache (Sections 3.2);
+* :func:`~repro.baselines.wolf_lam.wolf_lam` — tile all three loops as a
+  reuse-driven algorithm would (Section 2.2's comparison), which adds a
+  third tile-controlling loop and extra boundary misses;
+* :mod:`~repro.baselines.copying` — the copy-optimization cost model
+  showing why copying loses for stencils (Section 3.1).
+"""
+
+from repro.baselines.lrw import lrw
+from repro.baselines.ecs import ecs
+from repro.baselines.wolf_lam import wolf_lam
+from repro.baselines.copying import copy_break_even, copying_profitable
+
+__all__ = ["lrw", "ecs", "wolf_lam", "copy_break_even", "copying_profitable"]

@@ -1,0 +1,39 @@
+"""Lam-Rothberg-Wolf tile selection (ASPLOS'91), adapted to 3D.
+
+LRW picks the largest *square* tile that avoids self-interference,
+found by scanning square sizes downward — an O(sqrt(C_s)) search the
+paper contrasts with Euc3D's O(log C_s). The original handles 2D arrays
+only; for comparison in a 3D setting we require the square to avoid
+conflicts across the stencil's ``atd`` planes, using the same exact
+interference test as Euc3D.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.conflict import is_nonconflicting
+from repro.core.cost import cost
+from repro.types import ArrayTile, SelectionResult, TileSize
+
+__all__ = ["lrw"]
+
+
+def lrw(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
+        atd: int = 3) -> SelectionResult:
+    """Largest non-conflicting square array tile, trimmed to iterate."""
+    plane = di * dj
+    side_max = math.isqrt(cs // atd)
+    for side in range(side_max, 0, -1):
+        if is_nonconflicting(cs, di, plane, side, side, atd):
+            trimmed = ArrayTile(side, side, atd).trimmed(mi, mj)
+            if trimmed is None:
+                break
+            tile = TileSize(min(trimmed.ti, max(1, di - mi)),
+                            min(trimmed.tj, max(1, dj - mj)))
+            return SelectionResult(strategy="LRW", tile=tile, di_p=di,
+                                   dj_p=dj, cost=cost(tile.ti, tile.tj, mi, mj),
+                                   array_tile=ArrayTile(side, side, atd))
+    # Degenerate arrays (tiny or pathological): fall back to 1x1.
+    return SelectionResult(strategy="LRW", tile=TileSize(1, 1), di_p=di,
+                           dj_p=dj, cost=cost(1, 1, mi, mj))

@@ -1,0 +1,46 @@
+"""Tile-all-three-loops baseline (Section 2.2's comparison).
+
+Reuse-driven algorithms such as Wolf & Lam's tile every loop carrying
+reuse — all three in a 3D stencil. The paper argues this is wasteful:
+tiling K as well "has the effect of increasing the number of tiles
+executed, leading to an additional loss of reuse along expanded tile
+boundaries", while tiling only (J, I) already preserves all group reuse.
+
+We model the 3-loop variant as a cubical tile with array-tile volume
+``C_s``. Its selection result carries the K tile extent in
+``array_tile.tk`` so the trace generators can actually execute the extra
+tiling loop, exposing the boundary-reuse loss in simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.cost import cost
+from repro.errors import TileSelectionError
+from repro.types import ArrayTile, SelectionResult, TileSize
+
+__all__ = ["wolf_lam"]
+
+
+def wolf_lam(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
+             atd: int = 3) -> SelectionResult:
+    """Cubical tile with all three loops tiled.
+
+    The tile side solves ``(s)^2 * (s + atd - 1) = C_s`` approximately;
+    we take ``s = floor(cbrt(C_s))`` and trim margins in I and J. The K
+    extent (``array_tile.tk``) is the iteration-tile depth, with the
+    stencil needing ``atd - 1`` extra boundary planes per K tile.
+    """
+    side = max(1, round(cs ** (1.0 / 3.0)))
+    while side > 1 and side * side * (side + atd - 1) > cs:
+        side -= 1
+    arr = ArrayTile(side, side, max(1, side))
+    trimmed = arr.trimmed(mi, mj)
+    if trimmed is None:
+        raise TileSelectionError(f"cache too small for 3-loop tiling: {cs}")
+    tile = TileSize(min(trimmed.ti, max(1, di - mi)),
+                    min(trimmed.tj, max(1, dj - mj)))
+    return SelectionResult(strategy="WolfLam3", tile=tile, di_p=di, dj_p=dj,
+                           cost=cost(tile.ti, tile.tj, mi, mj),
+                           array_tile=arr)

@@ -1,0 +1,42 @@
+"""Trace-driven cache simulation substrate.
+
+The paper evaluates its transformations with simulated miss rates on the
+UltraSparc2's 16K direct-mapped L1 and 2M direct-mapped L2. This package
+provides that simulator:
+
+* :class:`~repro.cache.params.CacheParams` — geometry (size, line,
+  associativity) with byte/element conversions;
+* :class:`~repro.cache.direct_mapped.DirectMappedCache` — vectorized
+  (numpy sort-by-set segmented scan) direct-mapped simulator, the fast
+  path used by all paper experiments;
+* :class:`~repro.cache.set_assoc.SetAssociativeCache` — exact LRU
+  reference model for arbitrary associativity (scalar; used by tests and
+  small studies);
+* :class:`~repro.cache.hierarchy.CacheHierarchy` — multi-level
+  composition with write-around / write-allocate policies;
+* :mod:`~repro.cache.reuse` — reuse-distance and working-set analysis.
+"""
+
+from repro.cache.params import CacheParams, ULTRASPARC2_L1, ULTRASPARC2_L2
+from repro.cache.base import CacheStats
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.two_way import TwoWayCache
+from repro.cache.tlb import ULTRASPARC2_DTLB, build_tlb, tlb_params
+from repro.cache.hierarchy import CacheHierarchy, HierarchyStats, WritePolicy
+
+__all__ = [
+    "CacheParams",
+    "CacheStats",
+    "DirectMappedCache",
+    "SetAssociativeCache",
+    "TwoWayCache",
+    "CacheHierarchy",
+    "HierarchyStats",
+    "WritePolicy",
+    "ULTRASPARC2_L1",
+    "ULTRASPARC2_L2",
+    "ULTRASPARC2_DTLB",
+    "build_tlb",
+    "tlb_params",
+]

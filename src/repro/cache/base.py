@@ -1,0 +1,58 @@
+"""Common cache-simulation interfaces and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["CacheStats", "CacheLevel"]
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Local miss rate: misses over accesses *to this level*."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.accesses += other.accesses
+        self.misses += other.misses
+
+    def copy(self) -> "CacheStats":
+        return CacheStats(self.accesses, self.misses)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CacheStats(accesses={self.accesses}, misses={self.misses}, "
+                f"miss_rate={self.miss_rate:.4f})")
+
+
+@runtime_checkable
+class CacheLevel(Protocol):
+    """Protocol implemented by all cache simulators.
+
+    A level consumes chunks of byte addresses in program order and
+    reports, per access, whether it missed. State persists across chunks
+    so traces may be streamed without materializing them whole.
+    """
+
+    stats: CacheStats
+
+    def access(self, byte_addrs: np.ndarray) -> np.ndarray:
+        """Simulate accesses; return a boolean miss mask (program order)."""
+        ...
+
+    def reset(self) -> None:
+        """Empty the cache and zero the statistics."""
+        ...

@@ -1,0 +1,113 @@
+"""Vectorized direct-mapped cache simulation.
+
+This is the fast path behind every miss-rate experiment in the paper
+(both its caches are direct-mapped). The simulator never loops over
+individual accesses in Python; each chunk is processed with O(n log n)
+numpy work:
+
+1. map byte addresses to line ids (shift) and set indices (mask);
+2. stably sort accesses by set index — within a set's segment the
+   accesses remain in program order;
+3. a non-first access in a segment misses iff its line differs from the
+   immediately preceding access to the same set; the first access of each
+   segment compares against the carried per-set resident tag;
+4. the last access of each segment becomes the new resident tag.
+
+Step 3 is exact for direct-mapped caches because the hit/miss outcome of
+an access depends only on the single line currently resident in its set,
+which is always the line of the previous access to that set.
+
+State is carried across chunks, so traces can be streamed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.base import CacheStats
+from repro.cache.params import CacheParams
+from repro.errors import CacheGeometryError
+
+__all__ = ["DirectMappedCache"]
+
+
+class DirectMappedCache:
+    """Streaming direct-mapped cache simulator (vectorized).
+
+    Parameters
+    ----------
+    params:
+        Cache geometry; ``params.assoc`` must be 1.
+    """
+
+    def __init__(self, params: CacheParams):
+        if not params.is_direct_mapped:
+            raise CacheGeometryError(
+                f"DirectMappedCache requires assoc=1, got {params.assoc}")
+        self.params = params
+        self._line_shift = int(params.line_bytes).bit_length() - 1
+        self._set_mask = np.int64(params.num_sets - 1)
+        # Sorting on the narrowest dtype that holds a set index is ~5x
+        # faster in numpy (radix/counting sort path); int16 covers up to
+        # 32768 sets, which includes both of the paper's caches.
+        if params.num_sets <= (1 << 15):
+            self._set_dtype = np.int16
+        elif params.num_sets <= (1 << 31):
+            self._set_dtype = np.int32
+        else:  # pragma: no cover - absurd geometry
+            self._set_dtype = np.int64
+        self.stats = CacheStats()
+        # Resident line id per set; -1 = invalid (no byte address maps to it).
+        self._tags = np.full(params.num_sets, -1, dtype=np.int64)
+
+    def reset(self) -> None:
+        self.stats = CacheStats()
+        self._tags.fill(-1)
+
+    # ------------------------------------------------------------------
+    def access(self, byte_addrs: np.ndarray) -> np.ndarray:
+        """Simulate a chunk of accesses; return the boolean miss mask."""
+        byte_addrs = np.asarray(byte_addrs, dtype=np.int64)
+        n = byte_addrs.size
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+
+        lines = byte_addrs >> self._line_shift
+        sets = (lines & self._set_mask).astype(self._set_dtype)
+
+        order = np.argsort(sets, kind="stable")
+        s_sorted = sets[order]
+        l_sorted = lines[order]
+
+        # Segment boundaries: positions where the set index changes.
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        np.not_equal(s_sorted[1:], s_sorted[:-1], out=first[1:])
+
+        miss_sorted = np.empty(n, dtype=bool)
+        if n > 1:
+            np.not_equal(l_sorted[1:], l_sorted[:-1], out=miss_sorted[1:])
+        starts = np.flatnonzero(first)
+        # First access of each segment consults the carried resident tag.
+        miss_sorted[starts] = self._tags[s_sorted[starts]] != l_sorted[starts]
+
+        # Last access of each segment leaves its line resident.
+        ends = np.concatenate([starts[1:], np.array([n], dtype=starts.dtype)]) - 1
+        self._tags[s_sorted[ends]] = l_sorted[ends]
+
+        miss = np.empty(n, dtype=bool)
+        miss[order] = miss_sorted
+
+        self.stats.accesses += n
+        self.stats.misses += int(np.count_nonzero(miss))
+        return miss
+
+    # ------------------------------------------------------------------
+    def contains(self, byte_addr: int) -> bool:
+        """Whether the line holding ``byte_addr`` is currently resident."""
+        line = byte_addr >> self._line_shift
+        return bool(self._tags[line & int(self._set_mask)] == line)
+
+    def resident_lines(self) -> np.ndarray:
+        """Line ids currently in the cache (for inspection/tests)."""
+        return self._tags[self._tags >= 0].copy()

@@ -1,0 +1,117 @@
+"""Cache geometry parameters.
+
+All experiments in the paper use the UltraSparc2's caches:
+
+* L1: 16 KB, direct-mapped, 32-byte lines, write-through non-allocating
+  (the paper's "write-around" assumption);
+* L2: 2 MB, direct-mapped, 64-byte lines.
+
+The tile-selection algorithms reason in **elements** (the paper's
+``C_s = 2048`` for the 16K L1 holding float64), so :class:`CacheParams`
+offers both byte- and element-denominated views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CacheGeometryError
+
+__all__ = ["CacheParams", "ULTRASPARC2_L1", "ULTRASPARC2_L2"]
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+@dataclass(frozen=True, slots=True)
+class CacheParams:
+    """Geometry of one cache level.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity in bytes; must be a power of two.
+    line_bytes:
+        Cache-line size in bytes; power of two, divides ``size_bytes``.
+    assoc:
+        Associativity: 1 = direct-mapped, ``num_lines`` = fully
+        associative.
+    name:
+        Label for reports ("L1", "L2", ...).
+    """
+
+    size_bytes: int
+    line_bytes: int = 32
+    assoc: int = 1
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.size_bytes):
+            raise CacheGeometryError(f"cache size must be a power of two: {self}")
+        if not _is_pow2(self.line_bytes):
+            raise CacheGeometryError(f"line size must be a power of two: {self}")
+        if self.line_bytes > self.size_bytes:
+            raise CacheGeometryError(f"line larger than cache: {self}")
+        if self.assoc < 1 or self.num_lines % self.assoc != 0:
+            raise CacheGeometryError(
+                f"associativity {self.assoc} must divide line count "
+                f"{self.num_lines}: {self}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.assoc
+
+    @property
+    def is_direct_mapped(self) -> bool:
+        return self.assoc == 1
+
+    @property
+    def is_fully_associative(self) -> bool:
+        return self.num_sets == 1
+
+    # element-denominated views --------------------------------------
+    def capacity_elements(self, elem_bytes: int = 8) -> int:
+        """The paper's ``C_s``: how many elements the cache holds."""
+        if self.size_bytes % elem_bytes:
+            raise CacheGeometryError(
+                f"element size {elem_bytes} does not divide cache size")
+        return self.size_bytes // elem_bytes
+
+    def line_elements(self, elem_bytes: int = 8) -> int:
+        """Elements per cache line (the paper's ``L``)."""
+        if self.line_bytes % elem_bytes:
+            raise CacheGeometryError(
+                f"element size {elem_bytes} does not divide line size")
+        return self.line_bytes // elem_bytes
+
+    # address decomposition -------------------------------------------
+    def line_of(self, byte_addr):
+        """Line id (byte address >> log2(line)); works on numpy arrays."""
+        return byte_addr // self.line_bytes
+
+    def set_of(self, line_id):
+        """Set index of a line id; works on numpy arrays."""
+        return line_id % self.num_sets
+
+    def scaled(self, factor: int) -> "CacheParams":
+        """A cache ``factor`` times larger, same line size/associativity."""
+        return CacheParams(size_bytes=self.size_bytes * factor,
+                           line_bytes=self.line_bytes,
+                           assoc=self.assoc,
+                           name=self.name)
+
+
+#: The paper's 16 KB direct-mapped L1 with 32-byte lines.
+ULTRASPARC2_L1 = CacheParams(size_bytes=16 * 1024, line_bytes=32, assoc=1,
+                             name="L1")
+
+#: The paper's 2 MB direct-mapped L2 with 64-byte lines.
+ULTRASPARC2_L2 = CacheParams(size_bytes=2 * 1024 * 1024, line_bytes=64,
+                             assoc=1, name="L2")

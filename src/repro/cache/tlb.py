@@ -1,0 +1,45 @@
+"""TLB modeling: a translation buffer is just a page-granularity cache.
+
+The paper's related work (Mitchell et al., Section 5) observes that
+tile choices interact with the TLB as well as the caches: a tile that
+walks many columns touches many pages, and a small fully associative
+TLB can thrash even while the L1 behaves. Modeling one requires nothing
+new — a TLB *is* a cache whose "line" is the page and whose capacity is
+the entry count — so this module only provides the geometry helper and
+a convenience simulator choice.
+"""
+
+from __future__ import annotations
+
+from repro.cache.params import CacheParams
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.two_way import TwoWayCache
+from repro.errors import CacheGeometryError
+
+__all__ = ["tlb_params", "build_tlb", "ULTRASPARC2_DTLB"]
+
+
+def tlb_params(entries: int, page_bytes: int = 8192,
+               assoc: int | None = None, name: str = "TLB") -> CacheParams:
+    """Cache geometry equivalent to a TLB.
+
+    ``assoc=None`` means fully associative (the common case for small
+    TLBs); otherwise set-associative with the given way count.
+    """
+    if entries < 1:
+        raise CacheGeometryError("TLB needs at least one entry")
+    size = entries * page_bytes
+    return CacheParams(size_bytes=size, line_bytes=page_bytes,
+                       assoc=entries if assoc is None else assoc,
+                       name=name)
+
+
+def build_tlb(params: CacheParams):
+    """Simulator for a TLB geometry (exact LRU; 2-way vectorized)."""
+    if params.assoc == 2:
+        return TwoWayCache(params)
+    return SetAssociativeCache(params)
+
+
+#: UltraSparc2's data TLB: 64 entries, fully associative, 8K pages.
+ULTRASPARC2_DTLB = tlb_params(entries=64, page_bytes=8192, name="DTLB")

@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Exposes the library's main entry points without writing any Python:
+
+    python -m repro select --strategy GcdPad --n 300
+    python -m repro simulate --kernel JACOBI --strategy Pad --n 250
+    python -m repro table1
+    python -m repro table3 [--full]
+    python -m repro figures --kernel REDBLACK [--full]
+    python -m repro fig22
+    python -m repro mgrid [--level 7]
+    python -m repro section1
+
+``--full`` switches to the paper's sweep density (equivalent to setting
+``REPRO_FULL=1``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Rivera & Tseng, 'Tiling Optimizations "
+                    "for 3D Scientific Computations' (SC'00)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_full(sp):
+        sp.add_argument("--full", action="store_true",
+                        help="paper-density sweeps (sets REPRO_FULL=1)")
+
+    sp = sub.add_parser("select", help="run one tile-selection strategy")
+    sp.add_argument("--strategy", default="GcdPad")
+    sp.add_argument("--n", type=int, required=True,
+                    help="array extent (DI = DJ = N)")
+    sp.add_argument("--cs", type=int, default=2048,
+                    help="cache capacity in elements (default 16K of f64)")
+    sp.add_argument("--mi", type=int, default=2)
+    sp.add_argument("--mj", type=int, default=2)
+    sp.add_argument("--atd", type=int, default=3)
+
+    sp = sub.add_parser("simulate", help="simulate one kernel configuration")
+    sp.add_argument("--kernel", default="JACOBI",
+                    choices=["JACOBI", "REDBLACK", "RESID"])
+    sp.add_argument("--strategy", default="GcdPad")
+    sp.add_argument("--n", type=int, required=True)
+    add_full(sp)
+
+    sp = sub.add_parser("table1", help="Table 1: tile enumeration")
+
+    sp = sub.add_parser("table3", help="Table 3: average improvements")
+    sp.add_argument("--csv", metavar="PATH",
+                    help="also dump all simulated points as CSV")
+    add_full(sp)
+
+    sp = sub.add_parser("figures", help="Figures 14-19 series for a kernel")
+    sp.add_argument("--kernel", default="JACOBI",
+                    choices=["JACOBI", "REDBLACK", "RESID"])
+    sp.add_argument("--csv", metavar="PATH",
+                    help="also dump the series points as CSV")
+    add_full(sp)
+
+    sp = sub.add_parser("fig22", help="Figure 22: padding memory overhead")
+    add_full(sp)
+
+    sp = sub.add_parser("mgrid", help="Section 4.6: MGRID application study")
+    sp.add_argument("--level", type=int, default=7,
+                    help="finest grid level (7 -> 130^3 reference class)")
+
+    sp = sub.add_parser("section1", help="Section 1: capacity thresholds")
+    return p
+
+
+def _apply_full(args) -> None:
+    if getattr(args, "full", False):
+        os.environ["REPRO_FULL"] = "1"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly, the
+        # Unix way (also silence the interpreter-shutdown flush).
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _run(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    _apply_full(args)
+
+    # Imports happen after REPRO_FULL is set so configs pick it up.
+    if args.command == "select":
+        from repro.core.selector import select
+
+        r = select(args.strategy, args.cs, args.n, args.n,
+                   mi=args.mi, mj=args.mj, atd=args.atd)
+        tile = f"{r.tile.ti} x {r.tile.tj}" if r.tile else "(untiled)"
+        print(f"strategy : {r.strategy}")
+        print(f"tile     : {tile}")
+        print(f"dims     : {r.di_p} x {r.dj_p} "
+              f"(pad {r.di_p - args.n}, {r.dj_p - args.n})")
+        if r.tile:
+            print(f"cost     : {r.cost:.4f}")
+
+    elif args.command == "simulate":
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_point
+
+        p = run_point(args.kernel, args.strategy, args.n, ExperimentConfig())
+        print(f"{args.kernel} / {args.strategy} at N={args.n} "
+              f"(NK={p.nk}):")
+        print(f"  tile        : {p.tile or '(untiled)'}  "
+              f"dims {p.di_p} x {p.dj_p}")
+        print(f"  L1 miss rate: {p.l1_rate:.2f}%")
+        print(f"  L2 miss rate: {p.l2_rate:.2f}%")
+        print(f"  modeled perf: {p.mflops:.1f} MFlops")
+
+    elif args.command == "table1":
+        from repro.experiments.table1 import format_table1, table1
+
+        print(format_table1(table1()))
+
+    elif args.command == "table3":
+        from repro.experiments.table3 import format_table3, table3
+
+        res = table3()
+        print(format_table3(res))
+        if args.csv:
+            from repro.experiments.export import write_points_csv
+
+            pts = [p for k in res.points.values()
+                   for series in k.values() for p in series]
+            path = write_points_csv(pts, args.csv)
+            print(f"\nwrote {len(pts)} points to {path}")
+
+    elif args.command == "figures":
+        from repro.experiments.figures import figure_series, format_figure
+
+        data = figure_series(args.kernel)
+        print(format_figure(data, "l1_rate", "L1 miss rate (%)"))
+        print()
+        print(format_figure(data, "mflops", "MFlops"))
+        if args.csv:
+            from repro.experiments.export import write_points_csv
+
+            pts = [p for series in data.points.values() for p in series]
+            path = write_points_csv(pts, args.csv)
+            print(f"\nwrote {len(pts)} points to {path}")
+
+    elif args.command == "fig22":
+        from repro.experiments.fig22 import fig22, format_fig22
+
+        print(format_fig22(fig22()))
+
+    elif args.command == "mgrid":
+        from repro.experiments.mgrid_app import format_mgrid_app, mgrid_app
+
+        print(format_mgrid_app(mgrid_app(finest_level=args.level)))
+
+    elif args.command == "section1":
+        from repro.experiments.section1 import (
+            section1_thresholds,
+            verify_boundary_2d,
+            verify_boundary_3d,
+        )
+
+        th = section1_thresholds()
+        print("Analytic thresholds (Section 1):")
+        print(f"  2D Jacobi, 16K L1: reuse preserved to N = {th.max_2d_l1}")
+        print(f"  3D Jacobi, 16K L1: reuse preserved to N = {th.max_3d_l1}")
+        print(f"  3D Jacobi,  2M L2: reuse preserved to N = {th.max_3d_l2}")
+        print("Simulated trailing-reference hit rates:")
+        for label, rates in (("2D", verify_boundary_2d()),
+                             ("3D", verify_boundary_3d())):
+            row = "  ".join(f"N={n}: {r:.2f}" for n, r in sorted(rates.items()))
+            print(f"  {label}: {row}")
+
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

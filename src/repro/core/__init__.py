@@ -1,0 +1,57 @@
+"""The paper's primary contribution: 3D stencil tile selection + padding.
+
+Public surface:
+
+* :func:`~repro.core.cost.cost` — the Section 2.3 cost model
+  ``(TI+m)(TJ+n)/(TI*TJ)``;
+* :mod:`~repro.core.capacity` — Section 1's analytical reuse thresholds;
+* :func:`~repro.core.conflict.is_nonconflicting` — exact self-interference
+  test for a (TI, TJ, TK) array tile in a direct-mapped cache;
+* :func:`~repro.core.euc3d.euc3d` — non-conflicting tile selection
+  (Figure 9);
+* :func:`~repro.core.gcdpad.gcdpad` — fixed power-of-two tiles with GCD
+  padding (Figure 10);
+* :func:`~repro.core.pad.pad` — padding with tile-size search (Figure 11);
+* :func:`~repro.core.selector.select` — uniform front-end over all
+  strategies (the paper's Table 2 plus baselines).
+"""
+
+from repro.core.cost import cost, cost_tile
+from repro.core.capacity import (
+    max_2d_column_len,
+    max_3d_plane_len,
+    reuse_preserved_2d,
+    reuse_preserved_3d,
+)
+from repro.core.conflict import is_nonconflicting, min_circular_gap, tile_offsets
+from repro.core.euc2d import euc2d, noconflict_tiles_2d
+from repro.core.euc3d import enumerate_array_tiles, euc3d, noconflict_frontier
+from repro.core.gcdpad import gcdpad
+from repro.core.missmodel import tiled_miss_rate, untiled_miss_rate
+from repro.core.pad import pad
+from repro.core.tile_square import square_tile
+from repro.core.selector import STRATEGIES, select
+
+__all__ = [
+    "cost",
+    "cost_tile",
+    "max_2d_column_len",
+    "max_3d_plane_len",
+    "reuse_preserved_2d",
+    "reuse_preserved_3d",
+    "is_nonconflicting",
+    "min_circular_gap",
+    "tile_offsets",
+    "enumerate_array_tiles",
+    "euc2d",
+    "noconflict_tiles_2d",
+    "euc3d",
+    "noconflict_frontier",
+    "gcdpad",
+    "pad",
+    "square_tile",
+    "select",
+    "STRATEGIES",
+    "tiled_miss_rate",
+    "untiled_miss_rate",
+]

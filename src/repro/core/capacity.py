@@ -1,0 +1,70 @@
+"""Section 1 capacity analysis: when does a stencil keep its group reuse?
+
+The paper's motivating arithmetic, made executable:
+
+* A 2D stencil with K-dimension reach ``span`` (2 for Jacobi's
+  ``J-1..J+1``) keeps all group reuse when ``span`` *columns* fit in
+  cache: ``span * N <= C_s``. For a 16K L1 (C_s = 2048 doubles) and
+  span 2 this holds up to N = **1024**.
+* A 3D stencil needs ``span`` *planes* resident: ``span * N^2 <= C_s``,
+  i.e. N <= sqrt(C_s / span) — **32** for the 16K L1 and **362** for the
+  2M L2 (C_s = 262144), exactly the paper's thresholds.
+
+These functions let the experiments pick problem-size ranges that
+straddle the L2 threshold, as the paper did ("the range was selected so
+that the L2 cache would be able to preserve some group reuse ... for the
+smallest problem sizes, but no such group reuse for the largest").
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "max_2d_column_len",
+    "max_3d_plane_len",
+    "reuse_preserved_2d",
+    "reuse_preserved_3d",
+    "reuse_span",
+]
+
+
+def reuse_span(lo: int, hi: int) -> int:
+    """Distance (in columns or planes) between leading and trailing refs.
+
+    ``lo`` and ``hi`` are the smallest and largest subscript offsets in
+    the outer dimension (e.g. -1 and +1 for Jacobi -> span 2).
+    """
+    if hi < lo:
+        raise ValueError("hi offset below lo offset")
+    return hi - lo
+
+
+def max_2d_column_len(capacity_elements: int, span: int = 2) -> int:
+    """Largest column size N of a 2D array with reuse preserved.
+
+    The cache must hold ``span`` columns of N elements.
+    """
+    if span < 1:
+        raise ValueError("span must be positive")
+    return capacity_elements // span
+
+
+def max_3d_plane_len(capacity_elements: int, span: int = 2) -> int:
+    """Largest N of an N x N x M array with 3D group reuse preserved.
+
+    The cache must hold ``span`` planes of N^2 elements.
+    """
+    if span < 1:
+        raise ValueError("span must be positive")
+    return math.isqrt(capacity_elements // span)
+
+
+def reuse_preserved_2d(n: int, capacity_elements: int, span: int = 2) -> bool:
+    """Whether an N x M 2D sweep keeps group reuse in this cache."""
+    return n <= max_2d_column_len(capacity_elements, span)
+
+
+def reuse_preserved_3d(n: int, capacity_elements: int, span: int = 2) -> bool:
+    """Whether an N x N x M 3D sweep keeps group reuse in this cache."""
+    return n <= max_3d_plane_len(capacity_elements, span)

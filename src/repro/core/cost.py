@@ -1,0 +1,76 @@
+"""The tile cost model of Section 2.3.
+
+For a ``TI x TJ x (N-2)`` block of iterations, a 3D stencil loop touches
+roughly ``(TI+m)(TJ+n)N`` array elements, where ``m`` and ``n`` are the
+stencil margins (twice the largest subscript offset in the I and J
+dimensions; 2 for all three paper kernels). Dividing by the number of
+iterations ``TI*TJ*N`` (and dropping constants invariant under the tile
+choice) yields
+
+    Cost(TI, TJ) = (TI+m)(TJ+n) / (TI*TJ)
+
+Lower is better; for a fixed tile area the function is minimized by the
+squarest tile. Non-positive tile dimensions cost ``inf`` (the paper's
+device for discarding over-trimmed tiles).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.types import TileSize
+
+__all__ = ["cost", "cost_tile", "best_tile", "perfect_square_tile"]
+
+
+def cost(ti: int, tj: int, mi: int = 2, mj: int = 2) -> float:
+    """Cost of an iteration tile ``(ti, tj)`` with stencil margins.
+
+    Returns ``inf`` for non-positive dimensions so callers can feed
+    trimmed tiles straight in, as in the paper's pseudocode.
+    """
+    if ti < 1 or tj < 1:
+        return math.inf
+    return (ti + mi) * (tj + mj) / (ti * tj)
+
+
+def cost_tile(tile: TileSize | None, mi: int = 2, mj: int = 2) -> float:
+    """Cost of a :class:`TileSize`; ``None`` (discarded tile) costs inf."""
+    if tile is None:
+        return math.inf
+    return cost(tile.ti, tile.tj, mi, mj)
+
+
+def best_tile(tiles: Iterable[TileSize | None], mi: int = 2,
+              mj: int = 2) -> tuple[TileSize | None, float]:
+    """Minimum-cost tile among ``tiles`` (ties keep the earliest)."""
+    best: TileSize | None = None
+    best_cost = math.inf
+    for t in tiles:
+        c = cost_tile(t, mi, mj)
+        if c < best_cost:
+            best, best_cost = t, c
+    return best, best_cost
+
+
+def perfect_square_tile(area: int, mi: int = 2, mj: int = 2) -> TileSize:
+    """The min-cost tile of (at most) a given area under the model.
+
+    With area fixed, ``(ti+mi)(tj+mj)`` is minimized when the two factors
+    are as equal as possible; used by the "Tile" transformation and as a
+    test oracle.
+    """
+    if area < 1:
+        raise ValueError("area must be positive")
+    side = max(1, math.isqrt(area))
+    best: TileSize | None = None
+    best_cost = math.inf
+    for ti in range(1, side + 1):
+        tj = area // ti
+        for cand in ((ti, tj), (tj, ti)):
+            c = cost(*cand, mi, mj)
+            if c < best_cost:
+                best, best_cost = TileSize(*cand), c
+    assert best is not None
+    return best

@@ -1,0 +1,70 @@
+"""Cross-interference strategies (Section 3.5).
+
+When a kernel touches several arrays, references to one array can evict
+another's tile lines even though each tile is self-interference free.
+The paper names two strategies:
+
+* **tolerate** — do nothing. Profitable when the interfering reference
+  count is small relative to the group reuse protected (RESID: one V
+  read against 27 U reads).
+* **partition** — shrink the selected array tile so the arrays' tiles
+  occupy disjoint cache regions, then apply inter-variable padding to
+  base addresses so each array actually maps to its region.
+
+``partition_tile`` does the shrinking arithmetic; the base-address
+adjustment itself is :func:`repro.layout.padding.inter_variable_pads`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TileSelectionError
+from repro.types import ArrayTile
+
+__all__ = ["tolerate", "partition_tile", "CrossPartition"]
+
+
+def tolerate(tile: ArrayTile) -> ArrayTile:
+    """The do-nothing strategy: keep the tile, accept interference."""
+    return tile
+
+
+@dataclass(frozen=True, slots=True)
+class CrossPartition:
+    """Result of partitioning one array tile among several arrays."""
+
+    tiles: tuple[ArrayTile, ...]
+    #: Cache partition sizes (elements) for inter_variable_pads.
+    partitions: tuple[int, ...]
+
+
+def partition_tile(tile: ArrayTile, shares: list[int]) -> CrossPartition:
+    """Split an array tile's TJ extent among arrays in given proportions.
+
+    ``shares`` are relative weights (e.g. ``[27, 1]`` for RESID's U and
+    V). The TJ dimension is divided because shrinking the contiguous TI
+    dimension would sacrifice spatial locality within cache lines; each
+    array keeps the full TI x TK cross-section.
+    """
+    if not shares or any(s < 1 for s in shares):
+        raise TileSelectionError("shares must be positive")
+    total = sum(shares)
+    if tile.tj < len(shares):
+        raise TileSelectionError(
+            f"tile TJ={tile.tj} too small to split {len(shares)} ways")
+
+    tjs: list[int] = []
+    remaining = tile.tj
+    for idx, s in enumerate(shares):
+        left = len(shares) - idx - 1
+        tj = max(1, min(remaining - left, tile.tj * s // total))
+        tjs.append(tj)
+        remaining -= tj
+    # Distribute leftover columns to the largest share.
+    if remaining > 0:
+        tjs[shares.index(max(shares))] += remaining
+
+    tiles = tuple(ArrayTile(ti=tile.ti, tj=tj, tk=tile.tk) for tj in tjs)
+    parts = tuple(t.footprint for t in tiles)
+    return CrossPartition(tiles=tiles, partitions=parts)

@@ -1,0 +1,65 @@
+"""Euc: non-conflicting tile selection for 2D arrays (Section 3.3's base).
+
+Euc3D extends "the Euc algorithm given in [Rivera & Tseng CC'99]",
+which selects non-conflicting rectangular tiles for 2D arrays via
+Euclidean recurrences. The 2D case is the depth-1 slice of the exact
+frontier machinery, exposed here with the classic 2D-tiling cost model
+(linear-algebra-style margins default to 0: in matmul-like kernels the
+tile is reused as-is rather than trimmed by a stencil halo).
+"""
+
+from __future__ import annotations
+
+from repro.core.cost import cost
+from repro.core.euc3d import noconflict_frontier
+from repro.types import ArrayTile, SelectionResult, TileSize
+
+__all__ = ["euc2d", "noconflict_tiles_2d"]
+
+
+def noconflict_tiles_2d(cs: int, di: int,
+                        tj_max: int | None = None) -> list[ArrayTile]:
+    """Maximal non-conflicting (TI, TJ) tiles of a 2D column-major array.
+
+    Depth-1 frontier: TJ columns of TI contiguous elements, column
+    stride ``di``.
+    """
+    # dj only caps widths here; allow the caller's tj_max (or cs).
+    return noconflict_frontier(cs, di, tj_max if tj_max else cs, tk=1)
+
+
+def _cost2d(ti: int, tj: int, mi: int, mj: int) -> float:
+    """2D tile cost.
+
+    With stencil margins the Section 2.3 model applies; with zero
+    margins (linear algebra) that model is constant, so the classic
+    blocked-matmul traffic model ``1/TI + 1/TJ`` — minimized by the
+    largest, squarest tile — is used instead.
+    """
+    if mi or mj:
+        return cost(ti, tj, mi, mj)
+    if ti < 1 or tj < 1:
+        return float("inf")
+    return 1.0 / ti + 1.0 / tj
+
+
+def euc2d(cs: int, di: int, dj: int, *, mi: int = 0, mj: int = 0
+          ) -> SelectionResult:
+    """Min-cost non-conflicting 2D tile (the CC'99 Euc selection)."""
+    best_tile = TileSize(1, 1)
+    best_cost = _cost2d(1, 1, mi, mj)
+    best_arr: ArrayTile | None = None
+    ti_cap = max(1, di - mi)
+    tj_cap = max(1, dj - mj)
+    for arr in noconflict_frontier(cs, di, dj, tk=1):
+        trimmed = arr.trimmed(mi, mj) if (mi or mj) else TileSize(arr.ti,
+                                                                  arr.tj)
+        if trimmed is None:
+            continue
+        ti = min(trimmed.ti, ti_cap)
+        tj = min(trimmed.tj, tj_cap)
+        c = _cost2d(ti, tj, mi, mj)
+        if c < best_cost:
+            best_tile, best_cost, best_arr = TileSize(ti, tj), c, arr
+    return SelectionResult(strategy="Euc2D", tile=best_tile, di_p=di,
+                           dj_p=dj, cost=best_cost, array_tile=best_arr)

@@ -1,0 +1,64 @@
+"""Euclidean-remainder machinery behind non-conflicting tile enumeration.
+
+Column start addresses of a 2D column-major array are successive
+multiples of ``DI`` modulo the cache size ``C_s``. By the three-distance
+theorem, the circular gaps between the first ``TJ`` such multiples take
+at most three distinct values, and the attainable minimum-gap values are
+exactly combinations of the remainders produced by running the Euclidean
+algorithm on ``(C_s, DI mod C_s)`` — this is why the paper's Euc/Euc3D
+algorithms are Euclidean recurrences.
+
+We expose the remainder sequence (for tests and exposition) and the
+monotone minimum-gap function the frontier search in
+:mod:`repro.core.euc3d` binary-searches over.
+"""
+
+from __future__ import annotations
+
+from repro.core.conflict import max_noconflict_ti
+
+__all__ = ["remainder_sequence", "gap_function", "quotient_sequence"]
+
+
+def remainder_sequence(cs: int, d: int) -> list[int]:
+    """Euclidean remainders of (cs, d mod cs), starting with cs.
+
+    E.g. ``remainder_sequence(2048, 200) == [2048, 200, 48, 8, 0]``.
+    These (and their integer combinations) are the candidate
+    non-conflicting tile heights for a column stride of ``d``.
+    """
+    if cs < 1:
+        raise ValueError("cs must be positive")
+    seq = [cs]
+    a, b = cs, d % cs
+    while b:
+        seq.append(b)
+        a, b = b, a % b
+    seq.append(0)
+    return seq
+
+
+def quotient_sequence(cs: int, d: int) -> list[int]:
+    """Continued-fraction quotients of d/cs (companions of the remainders)."""
+    if cs < 1:
+        raise ValueError("cs must be positive")
+    out = []
+    a, b = cs, d % cs
+    while b:
+        out.append(a // b)
+        a, b = b, a % b
+    return out
+
+
+def gap_function(cs: int, di: int, plane: int, tk: int):
+    """Return ``f(tj) ->`` max non-conflicting TI, non-increasing in tj.
+
+    A thin closure over the exact computation; the monotonicity (adding
+    columns can only shrink the minimum gap) is what makes the frontier
+    search in :func:`repro.core.euc3d.noconflict_frontier` correct.
+    """
+
+    def f(tj: int) -> int:
+        return max_noconflict_ti(cs, di, plane, tj, tk)
+
+    return f

@@ -1,0 +1,82 @@
+"""GcdPad: padding for a fixed power-of-two tile size (Figure 10).
+
+GcdPad sidesteps tile-size search entirely. It fixes an array tile whose
+dimensions are powers of two multiplying to the cache size
+(``TI*TJ*TK = C_s``) and pads each lower array dimension up to the
+nearest **odd multiple** of the corresponding tile dimension. Then
+``gcd(DI_p, C_s) = TI`` and ``gcd(DJ_p, C_s) = TJ`` (C_s is a power of
+two), which together with ``TI*TJ*TK = C_s`` guarantees the array tile is
+self-interference free: successive columns land exactly ``TI`` apart in
+the cache, cycling through all ``C_s/TI`` slots before repeating, and
+likewise for planes.
+
+The price is padding of up to ``2*TI - 1`` (resp. ``2*TJ - 1``) elements
+per dimension, which Pad (Figure 11) later improves on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError, TileSelectionError
+from repro.types import ArrayTile, PadResult, TileSize
+
+__all__ = ["gcdpad", "gcdpad_array_tile", "pad_to_odd_multiple"]
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def gcdpad_array_tile(cs: int, tk: int = 4) -> ArrayTile:
+    """The fixed power-of-two array tile GcdPad targets.
+
+    ``TI`` is the smallest power of two >= sqrt(C_s / TK), ``TJ``
+    whatever remains, per Figure 10. For ``C_s = 2048``, ``TK = 4`` this
+    is the paper's (32, 16, 4).
+    """
+    if not _is_pow2(cs):
+        raise ConfigurationError(f"GcdPad requires a power-of-two C_s, got {cs}")
+    if not _is_pow2(tk) or tk > cs:
+        raise ConfigurationError(f"TK must be a power of two <= C_s, got {tk}")
+    ti = 1 << math.ceil(math.log2(math.isqrt(cs // tk)))
+    # isqrt floor can land one power low; ensure ti >= sqrt(cs/tk).
+    while ti * ti < cs // tk:
+        ti <<= 1
+    tj = cs // (tk * ti)
+    if tj < 1:
+        raise TileSelectionError(f"cache too small for TK={tk}: C_s={cs}")
+    return ArrayTile(ti=ti, tj=tj, tk=tk)
+
+
+def pad_to_odd_multiple(dim: int, t: int) -> int:
+    """Smallest odd multiple of ``t`` that is >= ``dim`` (Figure 10).
+
+    This is the paper's ``2T * floor((D + 3T - 1) / (2T)) - T``.
+    """
+    if t < 1 or dim < 1:
+        raise ConfigurationError("dim and t must be positive")
+    return 2 * t * ((dim + 3 * t - 1) // (2 * t)) - t
+
+
+def gcdpad(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
+           tk: int = 4) -> PadResult:
+    """Compute the GcdPad tile size and padded dimensions (Figure 10).
+
+    Parameters mirror :func:`repro.core.euc3d.euc3d`; ``tk`` is the fixed
+    array tile depth (a power of two, normally 4 since at most 3-4 tile
+    planes must be resident).
+    """
+    arr = gcdpad_array_tile(cs, tk)
+    trimmed = arr.trimmed(mi, mj)
+    if trimmed is None:
+        raise TileSelectionError(
+            f"GcdPad tile {arr} vanishes after trimming by ({mi}, {mj})")
+    di_p = pad_to_odd_multiple(di, arr.ti)
+    dj_p = pad_to_odd_multiple(dj, arr.tj)
+    # Postconditions the non-conflict guarantee rests on.
+    assert math.gcd(di_p, cs) == arr.ti, (di_p, cs, arr)
+    assert math.gcd(dj_p, cs) == arr.tj or arr.tj == 1, (dj_p, cs, arr)
+    tile = TileSize(min(trimmed.ti, max(1, di - mi)),
+                    min(trimmed.tj, max(1, dj - mj)))
+    return PadResult(tile=tile, di=di, dj=dj, di_p=di_p, dj_p=dj_p)

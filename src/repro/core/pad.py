@@ -1,0 +1,46 @@
+"""Pad: padding with tile-size selection (Figure 11).
+
+Pad refines GcdPad's memory overhead. It first runs GcdPad to obtain a
+cost target ``Cost*`` and pad upper bounds ``(DI_g, DJ_g)``, then scans
+padded dimensions ``DI..DI_g x DJ..DJ_g`` in row-major order, running
+Euc3D on each candidate geometry, and returns the *first* tile whose
+cost is <= ``Cost*``. Termination is guaranteed because the search space
+includes GcdPad's own geometry, whose Euc3D tile costs at most ``Cost*``
+(the GcdPad array tile is itself non-conflicting there, so the exact
+frontier contains a tile at least as good).
+
+Padding overhead is therefore never worse than GcdPad's, and usually far
+smaller (the paper measures 4.7% vs 14.7% average for JACOBI with
+K fixed at 30).
+"""
+
+from __future__ import annotations
+
+from repro.core.cost import cost_tile
+from repro.core.euc3d import euc3d
+from repro.core.gcdpad import gcdpad
+from repro.types import PadResult
+
+__all__ = ["pad"]
+
+
+def pad(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
+        atd: int = 3, gcd_tk: int = 4) -> PadResult:
+    """Select pads and tile size per Figure 11.
+
+    ``atd`` is the array-tile depth used by the inner Euc3D runs;
+    ``gcd_tk`` the (power-of-two) depth used by the bounding GcdPad call.
+    """
+    g = gcdpad(cs, di, dj, mi=mi, mj=mj, tk=gcd_tk)
+    cost_star = cost_tile(g.tile, mi, mj)
+
+    for di_p in range(di, g.di_p + 1):
+        for dj_p in range(dj, g.dj_p + 1):
+            r = euc3d(cs, di_p, dj_p, mi=mi, mj=mj, atd=atd)
+            if r.tile is not None and r.cost <= cost_star:
+                return PadResult(tile=r.tile, di=di, dj=dj,
+                                 di_p=di_p, dj_p=dj_p)
+
+    # The GcdPad geometry is in the search space, so this is unreachable
+    # unless Euc3D is broken; fall back to GcdPad's own answer for safety.
+    return g

@@ -1,0 +1,111 @@
+"""Uniform front-end over all tile-selection strategies (Table 2).
+
+Every strategy maps ``(C_s, DI, DJ, stencil parameters)`` to a
+:class:`~repro.types.SelectionResult` carrying the tile (or ``None`` for
+untiled strategies) and the padded dimensions. The registry includes the
+paper's six transformations plus the baselines from
+:mod:`repro.baselines`; experiment code addresses them by name.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.core.euc3d import euc3d
+from repro.core.gcdpad import gcdpad
+from repro.core.pad import pad
+from repro.core.tile_square import square_tile
+from repro.errors import ConfigurationError
+from repro.types import SelectionResult
+
+__all__ = ["select", "STRATEGIES"]
+
+Strategy = Callable[..., SelectionResult]
+
+
+def _orig(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
+          atd: int = 3) -> SelectionResult:
+    """No tiling, no padding: the baseline the paper improves on."""
+    return SelectionResult(strategy="Orig", tile=None, di_p=di, dj_p=dj)
+
+
+def _tile(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
+          atd: int = 3) -> SelectionResult:
+    return square_tile(cs, di, dj, mi=mi, mj=mj, atd=atd)
+
+
+def _euc3d(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
+           atd: int = 3) -> SelectionResult:
+    return euc3d(cs, di, dj, mi=mi, mj=mj, atd=atd)
+
+
+def _gcdpad(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
+            atd: int = 3) -> SelectionResult:
+    tk = 1 << max(2, math.ceil(math.log2(atd)))  # >= atd, power of two, min 4
+    r = gcdpad(cs, di, dj, mi=mi, mj=mj, tk=tk)
+    from repro.core.cost import cost
+
+    return SelectionResult(strategy="GcdPad", tile=r.tile, di_p=r.di_p,
+                           dj_p=r.dj_p, cost=cost(r.tile.ti, r.tile.tj, mi, mj))
+
+
+def _pad(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
+         atd: int = 3) -> SelectionResult:
+    tk = 1 << max(2, math.ceil(math.log2(atd)))
+    r = pad(cs, di, dj, mi=mi, mj=mj, atd=atd, gcd_tk=tk)
+    from repro.core.cost import cost
+
+    return SelectionResult(strategy="Pad", tile=r.tile, di_p=r.di_p,
+                           dj_p=r.dj_p, cost=cost(r.tile.ti, r.tile.tj, mi, mj))
+
+
+def _gcdpad_nt(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
+               atd: int = 3) -> SelectionResult:
+    """GcdPadNT: GcdPad's padding without the tiling (Table 2's control)."""
+    tk = 1 << max(2, math.ceil(math.log2(atd)))
+    r = gcdpad(cs, di, dj, mi=mi, mj=mj, tk=tk)
+    return SelectionResult(strategy="GcdPadNT", tile=None, di_p=r.di_p,
+                           dj_p=r.dj_p)
+
+
+def _baseline(name: str) -> Strategy:
+    def run(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
+            atd: int = 3) -> SelectionResult:
+        from repro import baselines
+
+        fn = getattr(baselines, name)
+        return fn(cs, di, dj, mi=mi, mj=mj, atd=atd)
+
+    return run
+
+
+#: Strategy registry: paper's Table 2 names plus baselines.
+STRATEGIES: dict[str, Strategy] = {
+    "Orig": _orig,
+    "Tile": _tile,
+    "Euc3D": _euc3d,
+    "GcdPad": _gcdpad,
+    "Pad": _pad,
+    "GcdPadNT": _gcdpad_nt,
+    # Related-work baselines (Section 5 comparisons):
+    "LRW": _baseline("lrw"),
+    "ECS": _baseline("ecs"),
+    "WolfLam3": _baseline("wolf_lam"),
+}
+
+
+def select(strategy: str, cs: int, di: int, dj: int, *, mi: int = 2,
+           mj: int = 2, atd: int = 3) -> SelectionResult:
+    """Run a strategy by Table 2 name.
+
+    Raises :class:`ConfigurationError` for unknown names (listing valid
+    ones to ease experiment configuration).
+    """
+    try:
+        fn = STRATEGIES[strategy]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown strategy {strategy!r}; valid: {sorted(STRATEGIES)}"
+        ) from None
+    return fn(cs, di, dj, mi=mi, mj=mj, atd=atd)

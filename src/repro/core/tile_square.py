@@ -1,0 +1,41 @@
+"""The "Tile" transformation: cost-optimal square tiles, conflicts ignored.
+
+Table 2's first tiling optimization "utilizes a fixed array tile size
+equal in volume to the cache size which is optimal according to the tile
+cost model, assuming a fully associative cache". Under the Section 2.3
+model that is the squarest array tile with ``TI*TJ*ATD = C_s``. Because
+real caches are direct-mapped, this tile generally *does* self-interfere
+— which is exactly what comparing against Tile measures (the impact of
+conflict misses on tiled 3D stencils).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import TileSelectionError
+from repro.types import ArrayTile, SelectionResult, TileSize
+
+__all__ = ["square_tile"]
+
+
+def square_tile(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
+                atd: int = 3) -> SelectionResult:
+    """Square array tile of volume ``C_s`` ignoring conflicts.
+
+    The array tile side is ``floor(sqrt(C_s / ATD))``; the iteration tile
+    trims the stencil margins off and is clamped to the interior extents.
+    """
+    side = math.isqrt(cs // atd)
+    arr = ArrayTile(ti=max(1, side), tj=max(1, side), tk=atd)
+    trimmed = arr.trimmed(mi, mj)
+    if trimmed is None:
+        raise TileSelectionError(
+            f"cache too small to tile: C_s={cs}, atd={atd}, margins ({mi},{mj})")
+    tile = TileSize(min(trimmed.ti, max(1, di - mi)),
+                    min(trimmed.tj, max(1, dj - mj)))
+    from repro.core.cost import cost  # local import avoids a cycle
+
+    return SelectionResult(strategy="Tile", tile=tile, di_p=di, dj_p=dj,
+                           cost=cost(tile.ti, tile.tj, mi, mj),
+                           array_tile=arr)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from algorithmic dead ends.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter combination is invalid (e.g. non power-of-two cache)."""
+
+
+class CacheGeometryError(ConfigurationError):
+    """Cache geometry is inconsistent (size, line size, associativity)."""
+
+
+class LayoutError(ConfigurationError):
+    """An array layout or padding specification is invalid."""
+
+
+class TransformError(ReproError):
+    """A loop transformation cannot be applied to the given nest."""
+
+
+class IllegalTransformError(TransformError):
+    """The transformation would violate a data dependence."""
+
+
+class TileSelectionError(ReproError):
+    """No admissible tile size exists for the given constraints."""
+
+
+class TraceError(ReproError):
+    """A reference trace could not be generated or consumed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was misconfigured or produced no data."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to reach its convergence target."""

@@ -1,0 +1,74 @@
+"""CSV export of experiment results (for external plotting tools).
+
+The benchmark harness renders ASCII tables; anyone regenerating the
+paper's figures graphically wants machine-readable series instead.
+These writers emit plain CSV with a stable column set.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Iterable
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import PointResult
+
+__all__ = ["points_to_csv", "write_points_csv", "read_points_csv"]
+
+_COLUMNS = ("kernel", "strategy", "n", "nk", "l1_rate", "l2_rate",
+            "l1_misses", "l2_misses", "refs", "mflops", "seconds",
+            "ti", "tj", "di_p", "dj_p")
+
+
+def _row(p: PointResult) -> list:
+    ti, tj = p.tile if p.tile else ("", "")
+    return [p.kernel, p.strategy, p.n, p.nk,
+            f"{p.l1_rate:.6f}", f"{p.l2_rate:.6f}",
+            p.l1_misses, p.l2_misses, p.refs,
+            f"{p.mflops:.6f}", f"{p.seconds:.9f}",
+            ti, tj, p.di_p, p.dj_p]
+
+
+def points_to_csv(points: Iterable[PointResult]) -> str:
+    """Render results as a CSV string (header + one row per point)."""
+    import io
+
+    buf = io.StringIO()
+    w = csv.writer(buf)
+    w.writerow(_COLUMNS)
+    for p in points:
+        w.writerow(_row(p))
+    return buf.getvalue()
+
+
+def write_points_csv(points: Iterable[PointResult],
+                     path: str | pathlib.Path) -> pathlib.Path:
+    """Write results to ``path``; returns the resolved path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(points_to_csv(points))
+    return path
+
+
+def read_points_csv(path: str | pathlib.Path) -> list[dict]:
+    """Read a CSV written by :func:`write_points_csv` back into dicts.
+
+    Numeric columns are parsed; empty tile columns become ``None``.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no such results file: {path}")
+    out: list[dict] = []
+    with path.open() as fh:
+        for row in csv.DictReader(fh):
+            parsed: dict = dict(row)
+            for k in ("n", "nk", "l1_misses", "l2_misses", "refs",
+                      "di_p", "dj_p"):
+                parsed[k] = int(row[k])
+            for k in ("l1_rate", "l2_rate", "mflops", "seconds"):
+                parsed[k] = float(row[k])
+            for k in ("ti", "tj"):
+                parsed[k] = int(row[k]) if row[k] else None
+            out.append(parsed)
+    return out

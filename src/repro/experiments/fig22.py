@@ -1,0 +1,97 @@
+"""Figure 22: memory increase from padding (JACOBI).
+
+For each problem size the figure reports the percentage extra memory
+GcdPad and Pad allocate. Two regimes are shown, as in Section 4.5: the
+experiments' ``K = 30`` (where pads on an N x N x 30 array are
+relatively expensive) and the realistic ``K = N`` (cubic arrays, where
+the same pads amortize to ~1% territory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.gcdpad import gcdpad
+from repro.core.pad import pad
+from repro.experiments.config import ExperimentConfig, default_sizes
+from repro.experiments.report import format_series
+from repro.layout.padding import memory_overhead
+
+__all__ = ["MemoryPoint", "Fig22Result", "fig22", "format_fig22"]
+
+
+@dataclass(frozen=True)
+class MemoryPoint:
+    n: int
+    gcdpad_pct_k30: float
+    pad_pct_k30: float
+    gcdpad_pct_cubic: float
+    pad_pct_cubic: float
+
+
+@dataclass(frozen=True)
+class Fig22Result:
+    points: list[MemoryPoint]
+    avg_gcdpad_k30: float
+    avg_pad_k30: float
+    avg_gcdpad_cubic: float
+    avg_pad_cubic: float
+
+
+def fig22(sizes: list[int] | None = None, nk: int = 30,
+          cfg: ExperimentConfig | None = None,
+          mi: int = 2, mj: int = 2, atd: int = 3) -> Fig22Result:
+    """Padding overhead per size, in the paper's two normalizations.
+
+    The K=30 columns are the fractional growth of the experiments'
+    N x N x 30 arrays. Because padding both lower dimensions scales
+    every plane equally, that fraction is K-invariant; the paper's
+    "much less for cubic arrays" comparison (14.7% -> 1.4%) therefore
+    reads as the *same absolute pad volume* taken against a cubic
+    array's memory, which is what the cubic columns report.
+    """
+    cfg = cfg or ExperimentConfig()
+    sizes = sizes or default_sizes()
+    pts = []
+    for n in sizes:
+        g = gcdpad(cfg.cs, n, n, mi=mi, mj=mj)
+        p = pad(cfg.cs, n, n, mi=mi, mj=mj, atd=atd)
+        g_extra = memory_overhead(n, n, nk, g.di_p, g.dj_p).extra_elements
+        p_extra = memory_overhead(n, n, nk, p.di_p, p.dj_p).extra_elements
+        pts.append(MemoryPoint(
+            n=n,
+            gcdpad_pct_k30=memory_overhead(n, n, nk, g.di_p, g.dj_p).percent,
+            pad_pct_k30=memory_overhead(n, n, nk, p.di_p, p.dj_p).percent,
+            gcdpad_pct_cubic=100.0 * g_extra / (n * n * n),
+            pad_pct_cubic=100.0 * p_extra / (n * n * n),
+        ))
+
+    def avg(xs) -> float:
+        xs = list(xs)
+        return sum(xs) / len(xs)
+
+    return Fig22Result(
+        points=pts,
+        avg_gcdpad_k30=avg(q.gcdpad_pct_k30 for q in pts),
+        avg_pad_k30=avg(q.pad_pct_k30 for q in pts),
+        avg_gcdpad_cubic=avg(q.gcdpad_pct_cubic for q in pts),
+        avg_pad_cubic=avg(q.pad_pct_cubic for q in pts),
+    )
+
+
+def format_fig22(res: Fig22Result) -> str:
+    xs = [p.n for p in res.points]
+    body = format_series(
+        "Figure 22: JACOBI memory increase from padding (%)",
+        "N", xs,
+        {
+            "GcdPad(K=30)": [p.gcdpad_pct_k30 for p in res.points],
+            "Pad(K=30)": [p.pad_pct_k30 for p in res.points],
+            "GcdPad(K=N)": [p.gcdpad_pct_cubic for p in res.points],
+            "Pad(K=N)": [p.pad_pct_cubic for p in res.points],
+        })
+    tail = (f"\naverages: GcdPad {res.avg_gcdpad_k30:.1f}% / "
+            f"Pad {res.avg_pad_k30:.1f}% at K=30; "
+            f"GcdPad {res.avg_gcdpad_cubic:.1f}% / "
+            f"Pad {res.avg_pad_cubic:.1f}% for cubic arrays")
+    return body + tail

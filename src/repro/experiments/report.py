@@ -1,0 +1,44 @@
+"""Plain-text rendering of experiment results (tables and series)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str | None = None) -> str:
+    """Fixed-width ASCII table; floats rendered to two decimals."""
+    def cell(x) -> str:
+        if isinstance(x, float):
+            return f"{x:.2f}"
+        return str(x)
+
+    srows = [[cell(c) for c in r] for r in rows]
+    widths = [len(h) for h in headers]
+    for r in srows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    out.extend(line(r) for r in srows)
+    return "\n".join(out)
+
+
+def format_series(title: str, xlabel: str, xs: Sequence[int],
+                  series: dict[str, Sequence[float]],
+                  unit: str = "") -> str:
+    """Render several aligned series (one row per x) as a table."""
+    headers = [xlabel] + [f"{name}{unit}" for name in series]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,138 @@
+"""Simulate one (kernel, strategy, N) configuration end to end.
+
+Pipeline per point:
+
+1. tile selection (:func:`repro.core.selector.select`) against the L1
+   capacity, using the kernel's stencil metadata;
+2. array layout with the selected pads;
+3. exact reference trace of the selected schedule;
+4. two-level direct-mapped simulation (write-around);
+5. analytic performance prediction from the miss counts.
+
+Results are memoized per process (keyed by the full configuration) so
+that Table 3 and the per-figure benches share sweeps within a session.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.selector import select
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.kernels import KERNELS, Schedule
+from repro.perfmodel.model import RunCounts, predict
+from repro.types import SelectionResult
+
+__all__ = ["PointResult", "run_point", "sweep", "clear_cache"]
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Simulated outcome of one configuration."""
+
+    kernel: str
+    strategy: str
+    n: int
+    nk: int
+    l1_rate: float          # global miss rate (misses / all refs), %
+    l2_rate: float
+    l1_misses: int
+    l2_misses: int
+    refs: int
+    mflops: float
+    seconds: float
+    tile: tuple[int, int] | None
+    di_p: int
+    dj_p: int
+
+    @property
+    def padded(self) -> bool:
+        return self.di_p > self.n or self.dj_p > self.n
+
+
+def _schedule_for(strategy: str, kernel: str,
+                  sel: SelectionResult) -> Schedule:
+    if not sel.tiled:
+        return Schedule.UNTILED
+    if strategy == "WolfLam3" and kernel != "REDBLACK":
+        return Schedule.TILED_3LOOP
+    return Schedule.TILED
+
+
+def _tile_count(kernel, sel: SelectionResult, schedule: Schedule) -> int:
+    if not sel.tiled:
+        return 1
+    ti, tj = sel.tile.ti, sel.tile.tj
+    start = 1 if kernel.meta.name == "REDBLACK" else 2
+    span = kernel.n - start
+    tiles = math.ceil(span / ti) * math.ceil(span / tj)
+    if schedule is Schedule.TILED_3LOOP and sel.array_tile is not None:
+        tiles *= math.ceil((kernel.nk - 2) / max(1, sel.array_tile.tk))
+    return max(1, tiles)
+
+
+@lru_cache(maxsize=None)
+def _run_point_cached(kernel_name: str, strategy: str, n: int,
+                      cfg: ExperimentConfig) -> PointResult:
+    try:
+        kernel_cls = KERNELS[kernel_name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown kernel {kernel_name!r}; valid: {sorted(KERNELS)}"
+        ) from None
+    kern = kernel_cls(n, cfg.nk, elem_bytes=cfg.elem_bytes)
+    meta = kern.meta
+    sel = select(strategy, cfg.cs, n, n, mi=meta.mi, mj=meta.mj, atd=meta.atd)
+    schedule = _schedule_for(strategy, kernel_name, sel)
+
+    hier = CacheHierarchy(cfg.levels)
+    inter_pad = cfg.cs if cfg.inter_pad else None
+    for addrs, w in kern.trace(sel, schedule, inter_pad_cache=inter_pad):
+        hier.access(addrs, w)
+    stats = hier.stats()
+
+    l1_rate = stats.global_miss_rate(0, include_writes=cfg.include_writes)
+    l2_rate = stats.global_miss_rate(1, include_writes=cfg.include_writes)
+
+    counts = RunCounts(
+        iterations=kern.interior_points(),
+        flops=kern.sweep_flops(),
+        refs=kern.sweep_refs(),
+        l1_misses=stats.misses(0),
+        l2_misses=stats.misses(1),
+        tiles=_tile_count(kern, sel, schedule),
+    )
+    perf = predict(counts, cfg.machine)
+
+    return PointResult(
+        kernel=kernel_name, strategy=strategy, n=n, nk=cfg.nk,
+        l1_rate=100.0 * l1_rate, l2_rate=100.0 * l2_rate,
+        l1_misses=stats.misses(0), l2_misses=stats.misses(1),
+        refs=stats.demand_refs, mflops=perf.mflops, seconds=perf.seconds,
+        tile=sel.tile.as_tuple() if sel.tile else None,
+        di_p=sel.di_p, dj_p=sel.dj_p,
+    )
+
+
+def run_point(kernel: str, strategy: str, n: int,
+              cfg: ExperimentConfig | None = None) -> PointResult:
+    """Simulate one configuration (memoized)."""
+    return _run_point_cached(kernel, strategy, n, cfg or ExperimentConfig())
+
+
+def sweep(kernel: str, strategies: list[str], sizes: list[int],
+          cfg: ExperimentConfig | None = None
+          ) -> dict[str, list[PointResult]]:
+    """Run a full (strategy x size) sweep for one kernel."""
+    cfg = cfg or ExperimentConfig()
+    return {s: [run_point(kernel, s, n, cfg) for n in sizes]
+            for s in strategies}
+
+
+def clear_cache() -> None:
+    """Drop memoized results (tests use this to force fresh runs)."""
+    _run_point_cached.cache_clear()

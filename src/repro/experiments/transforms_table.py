@@ -1,0 +1,40 @@
+"""Table 2: the transformation taxonomy, as an executable registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TransformRow", "TRANSFORMS", "PAPER_STRATEGIES"]
+
+
+@dataclass(frozen=True)
+class TransformRow:
+    """One row of the paper's Table 2."""
+
+    name: str
+    tile_size: str
+    padding: str
+    tiled: bool
+    padded: bool
+
+
+TRANSFORMS: dict[str, TransformRow] = {
+    "Orig": TransformRow("Orig", "(No tiling)", "No", False, False),
+    "Tile": TransformRow("Tile", "Square", "No", True, False),
+    "Euc3D": TransformRow("Euc3D", "Non-conflicting", "No", True, False),
+    "GcdPad": TransformRow("GcdPad", "Fixed non-conflicting", "GCD", True, True),
+    "Pad": TransformRow("Pad", "Variable non-conflicting", "< GCD", True, True),
+    "GcdPadNT": TransformRow("GcdPadNT", "(No tiling)", "GCD", False, True),
+}
+
+#: The five optimized strategies Table 3 reports (Orig is the baseline).
+PAPER_STRATEGIES = ("Tile", "Euc3D", "GcdPad", "Pad", "GcdPadNT")
+
+
+def format_table2() -> str:
+    lines = [f"{'Program':10s} {'Tile Size':26s} {'Padding':8s}",
+             "-" * 46]
+    rows = [TRANSFORMS["Orig"]] + [TRANSFORMS[s] for s in PAPER_STRATEGIES]
+    for r in rows:
+        lines.append(f"{r.name:10s} {r.tile_size:26s} {r.padding:8s}")
+    return "\n".join(lines)

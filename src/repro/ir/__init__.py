@@ -1,0 +1,49 @@
+"""Loop-nest intermediate representation and transformations.
+
+A small compiler-style IR able to express the paper's codes (Figures 1,
+3, 5, 6, 12, 13): perfect/imperfect loop nests over affine bounds, with
+array references whose subscripts are affine in the loop variables, plus
+modulo guards for red-black sweeps.
+
+The IR serves two purposes:
+
+* **legality** — :mod:`repro.ir.dependence` computes distance vectors for
+  uniform dependences and validates permutation/tiling/fusion;
+* **ground truth** — :func:`repro.ir.interp.iterate` enumerates a nest's
+  iterations (and :func:`repro.ir.interp.reference_trace` its reference
+  string) slowly but obviously correctly; the vectorized enumerators in
+  :mod:`repro.trace` are property-tested against it.
+
+Transformations (:mod:`repro.ir.transforms`) are source-to-source on the
+IR: strip-mining, permutation, tiling (the paper's basic transformation
+= strip-mine J and I + permute tile loops outermost), fusion and skewing
+(for the fused red-black schedule).
+"""
+
+from repro.ir.expr import Affine, Bound, Mod2Guard, var
+from repro.ir.refs import ArrayRef
+from repro.ir.loops import Loop, LoopNest, Statement
+from repro.ir.interp import iterate, reference_trace
+from repro.ir.dependence import (
+    DependenceInfo,
+    distance_vectors,
+    is_fully_permutable,
+    legal_permutation,
+)
+
+__all__ = [
+    "Affine",
+    "Bound",
+    "Mod2Guard",
+    "var",
+    "ArrayRef",
+    "Loop",
+    "LoopNest",
+    "Statement",
+    "iterate",
+    "reference_trace",
+    "DependenceInfo",
+    "distance_vectors",
+    "is_fully_permutable",
+    "legal_permutation",
+]

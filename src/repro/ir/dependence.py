@@ -1,0 +1,196 @@
+"""Uniform dependence analysis and transformation legality.
+
+Stencil codes have only *uniform* dependences: every pair of references
+to the same array differs by a constant subscript vector, so dependence
+distances are constants. That makes legality checks exact:
+
+* a **loop permutation** is legal iff every dependence distance vector,
+  re-ordered by the permutation, remains lexicographically positive (or
+  zero);
+* **tiling** a band of loops (strip-mine + permute tile loops outward)
+  is legal iff the band is *fully permutable* — every distance vector is
+  component-wise non-negative within the band [Irigoin & Triolet; Wolf &
+  Lam];
+* **fusing** two nests is legal iff no fused dependence becomes
+  lexicographically negative; for the red-black schedule the paper uses,
+  the skewed K alignment makes all fused distances legal, which the
+  red-black tests verify through this module.
+
+Distances are expressed in the loop order of the nest, outermost first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.errors import IllegalTransformError
+from repro.ir.loops import LoopNest
+from repro.ir.refs import ArrayRef
+
+__all__ = [
+    "DependenceInfo",
+    "distance_vectors",
+    "lexicographically_positive",
+    "legal_permutation",
+    "is_fully_permutable",
+    "assert_legal_permutation",
+]
+
+
+@dataclass(frozen=True)
+class DependenceInfo:
+    """One uniform dependence between two references."""
+
+    source: ArrayRef
+    sink: ArrayRef
+    distance: tuple[int, ...]  # per loop, outermost first
+    kind: str  # "flow", "anti", "output", or "input"
+
+
+def _ref_distance_in_loops(a: ArrayRef, b: ArrayRef,
+                           loop_vars: Sequence[str]) -> tuple[int, ...] | None:
+    """Iteration distance (outermost first) such that b at iter+d touches
+    the element a touched at iter, for single-index subscripts.
+
+    Works when each subscript uses each loop variable with coefficient
+    0 or 1 and subscript dimension d is driven by exactly one variable
+    (true of all paper kernels). Returns None for non-uniform pairs.
+    """
+    diff = a.uniform_distance(b)
+    if diff is None:
+        return None
+    # Map each subscript dimension to its driving loop variable.
+    dist = [0] * len(loop_vars)
+    for dim, (sa, delta) in enumerate(zip(a.subs, diff)):
+        vars_a = sa.variables()
+        driving = [v for v in loop_vars if v in vars_a]
+        if len(driving) == 0:
+            if delta != 0:
+                return None  # constant subscripts differ: no dependence
+            continue
+        if len(driving) > 1:
+            return None  # coupled subscripts: out of scope
+        v = driving[0]
+        coeff = sa.coeff(v)
+        if coeff == 0 or delta % coeff:
+            return None
+        # b(iter + d) == a(iter)  =>  d = -delta / coeff.
+        dist[loop_vars.index(v)] += -delta // coeff
+    return tuple(dist)
+
+
+def _kind(a: ArrayRef, b: ArrayRef) -> str:
+    if a.is_write and b.is_write:
+        return "output"
+    if a.is_write:
+        return "flow"
+    if b.is_write:
+        return "anti"
+    return "input"
+
+
+def distance_vectors(nest: LoopNest,
+                     include_input: bool = False) -> list[DependenceInfo]:
+    """All uniform dependence distances among the nest's references.
+
+    Input (read-read) dependences drive *reuse* rather than legality and
+    are excluded by default.
+    """
+    loop_vars = list(nest.loop_vars)
+    refs = nest.all_refs()
+    out: list[DependenceInfo] = []
+    for a, b in combinations(refs, 2):
+        if a.array != b.array:
+            continue
+        if not include_input and not (a.is_write or b.is_write):
+            continue
+        d = _ref_distance_in_loops(a, b, loop_vars)
+        if d is None:
+            continue
+        # Orient the dependence source-before-sink (lexicographically
+        # non-negative distance); flip if needed.
+        if lexicographically_negative(d):
+            d = tuple(-x for x in d)
+            a, b = b, a
+        out.append(DependenceInfo(source=a, sink=b, distance=d,
+                                  kind=_kind(a, b)))
+    return out
+
+
+def lexicographically_positive(d: Iterable[int]) -> bool:
+    for x in d:
+        if x > 0:
+            return True
+        if x < 0:
+            return False
+    return False
+
+
+def lexicographically_negative(d: Iterable[int]) -> bool:
+    return lexicographically_positive(tuple(-x for x in d))
+
+
+def legal_permutation(deps: list[DependenceInfo],
+                      perm: Sequence[int]) -> bool:
+    """Whether reordering loops by ``perm`` keeps all distances legal.
+
+    ``perm[i]`` is the old position of the loop newly at position ``i``.
+    """
+    for dep in deps:
+        nd = tuple(dep.distance[p] for p in perm)
+        if any(nd) and lexicographically_negative(nd):
+            return False
+    return True
+
+
+def assert_legal_permutation(nest: LoopNest, perm: Sequence[int]) -> None:
+    deps = distance_vectors(nest)
+    if not legal_permutation(deps, perm):
+        raise IllegalTransformError(
+            f"permutation {tuple(perm)} violates a dependence in {nest.name}")
+
+
+def fusion_preventing(a: LoopNest, b: LoopNest
+                      ) -> tuple[ArrayRef, ArrayRef] | None:
+    """First dependence that makes fusing ``a`` before ``b`` illegal.
+
+    A dependence from a reference in ``a`` (which executes for *all*
+    iterations before any of ``b`` runs) to a reference in ``b`` is
+    preserved by fusion only if its distance is lexicographically
+    non-negative — otherwise ``b``'s statement would read/write an
+    element before ``a``'s statement has produced/consumed it.
+    Statement order matters here, so distances are *not* re-oriented.
+    """
+    loop_vars = list(a.loop_vars)
+    for ra in a.all_refs():
+        for rb in b.all_refs():
+            if ra.array != rb.array:
+                continue
+            if not (ra.is_write or rb.is_write):
+                continue
+            d = _ref_distance_in_loops(ra, rb, loop_vars)
+            if d is None:
+                continue
+            if any(d) and lexicographically_negative(d):
+                return (ra, rb)
+    return None
+
+
+def is_fully_permutable(deps: list[DependenceInfo],
+                        band: Sequence[int]) -> bool:
+    """Whether the loops at positions ``band`` form a permutable band.
+
+    Required for tiling those loops: every distance must be
+    component-wise non-negative within the band *or* be satisfied by a
+    positive component at an outer-of-band position.
+    """
+    band = list(band)
+    outer = [i for i in range(min(band))] if band else []
+    for dep in deps:
+        if any(dep.distance[i] > 0 for i in outer):
+            continue  # carried outside the band
+        if any(dep.distance[i] < 0 for i in band):
+            return False
+    return True

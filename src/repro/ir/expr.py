@@ -1,0 +1,188 @@
+"""Affine expressions, bounds, and modulo guards for the loop IR.
+
+:class:`Affine` is an integer-linear expression ``sum(c_v * v) + const``
+over named variables (loop indices and symbolic parameters like ``N``).
+Loop bounds are :class:`Bound` — the min/max of one or more affine
+expressions, which is exactly the shape tiling produces
+(``min(JJ+TJ-1, N-1)``). :class:`Mod2Guard` expresses the red-black
+parity conditions (``mod(I+J+K+odd, 2) == 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+__all__ = ["Affine", "Bound", "Mod2Guard", "var", "const"]
+
+
+@dataclass(frozen=True)
+class Affine:
+    """Integer-affine expression: ``sum(coeffs[v] * v) + c``."""
+
+    coeffs: tuple[tuple[str, int], ...] = ()
+    c: int = 0
+
+    # -- construction helpers -----------------------------------------
+    @staticmethod
+    def of(x: "AffineLike") -> "Affine":
+        if isinstance(x, Affine):
+            return x
+        if isinstance(x, int):
+            return Affine(c=x)
+        raise TypeError(f"cannot make Affine from {x!r}")
+
+    def _as_dict(self) -> dict[str, int]:
+        return dict(self.coeffs)
+
+    @staticmethod
+    def _norm(d: Mapping[str, int], c: int) -> "Affine":
+        items = tuple(sorted((v, k) for v, k in d.items() if k != 0))
+        return Affine(coeffs=items, c=c)
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other: "AffineLike") -> "Affine":
+        o = Affine.of(other)
+        d = self._as_dict()
+        for v, k in o.coeffs:
+            d[v] = d.get(v, 0) + k
+        return Affine._norm(d, self.c + o.c)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Affine":
+        return Affine(tuple((v, -k) for v, k in self.coeffs), -self.c)
+
+    def __sub__(self, other: "AffineLike") -> "Affine":
+        return self + (-Affine.of(other))
+
+    def __rsub__(self, other: "AffineLike") -> "Affine":
+        return Affine.of(other) + (-self)
+
+    def __mul__(self, k: int) -> "Affine":
+        if not isinstance(k, int):
+            raise TypeError("Affine supports multiplication by int only")
+        return Affine(tuple((v, c * k) for v, c in self.coeffs), self.c * k)
+
+    __rmul__ = __mul__
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def is_const(self) -> bool:
+        return not self.coeffs
+
+    def coeff(self, v: str) -> int:
+        for name, k in self.coeffs:
+            if name == v:
+                return k
+        return 0
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(v for v, _ in self.coeffs)
+
+    def subs(self, env: Mapping[str, int | "Affine"]) -> "Affine":
+        """Substitute variables with ints or other affines."""
+        out = Affine(c=self.c)
+        for v, k in self.coeffs:
+            if v in env:
+                out = out + Affine.of(env[v]) * k
+            else:
+                out = out + Affine(((v, k),))
+        return out
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        total = self.c
+        for v, k in self.coeffs:
+            try:
+                total += k * env[v]
+            except KeyError:
+                raise KeyError(f"unbound variable {v!r} in {self}") from None
+        return total
+
+    def __repr__(self) -> str:
+        parts = [f"{k}*{v}" if k != 1 else v for v, k in self.coeffs]
+        if self.c or not parts:
+            parts.append(str(self.c))
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+AffineLike = Union[Affine, int]
+
+
+def var(name: str) -> Affine:
+    """The affine expression consisting of a single variable."""
+    return Affine(coeffs=((name, 1),))
+
+
+def const(c: int) -> Affine:
+    return Affine(c=c)
+
+
+@dataclass(frozen=True)
+class Bound:
+    """min/max of affine expressions, as produced by tiling.
+
+    ``kind`` is ``"min"`` or ``"max"``; a single-term bound is just the
+    expression itself (kind irrelevant).
+    """
+
+    terms: tuple[Affine, ...]
+    kind: str = "min"
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError("Bound needs at least one term")
+        if self.kind not in ("min", "max"):
+            raise ValueError(f"bad Bound kind {self.kind!r}")
+
+    @staticmethod
+    def of(x: "BoundLike", kind: str = "min") -> "Bound":
+        if isinstance(x, Bound):
+            return x
+        return Bound(terms=(Affine.of(x),), kind=kind)
+
+    def eval(self, env: Mapping[str, int]) -> int:
+        vals = [t.eval(env) for t in self.terms]
+        return min(vals) if self.kind == "min" else max(vals)
+
+    def subs(self, env: Mapping[str, int | Affine]) -> "Bound":
+        return Bound(tuple(t.subs(env) for t in self.terms), self.kind)
+
+    def merge(self, other: "BoundLike", kind: str) -> "Bound":
+        """Combine with another bound under min or max."""
+        o = Bound.of(other, kind)
+        if self.kind != kind and len(self.terms) > 1:
+            raise ValueError("cannot merge min-bound into max-bound")
+        if o.kind != kind and len(o.terms) > 1:
+            raise ValueError("cannot merge max-bound into min-bound")
+        return Bound(self.terms + o.terms, kind)
+
+    def __repr__(self) -> str:
+        if len(self.terms) == 1:
+            return repr(self.terms[0])
+        inner = ", ".join(map(repr, self.terms))
+        return f"{self.kind}({inner})"
+
+
+BoundLike = Union[Bound, Affine, int]
+
+
+@dataclass(frozen=True)
+class Mod2Guard:
+    """Guard ``(expr) mod 2 == residue`` (red-black parity selection)."""
+
+    expr: Affine
+    residue: int = 0
+
+    def __post_init__(self) -> None:
+        if self.residue not in (0, 1):
+            raise ValueError("residue must be 0 or 1")
+
+    def eval(self, env: Mapping[str, int]) -> bool:
+        return self.expr.eval(env) % 2 == self.residue
+
+    def subs(self, env: Mapping[str, int | Affine]) -> "Mod2Guard":
+        return Mod2Guard(self.expr.subs(env), self.residue)
+
+    def __repr__(self) -> str:
+        return f"({self.expr}) % 2 == {self.residue}"

@@ -1,0 +1,73 @@
+"""Slow, obviously-correct interpretation of loop nests.
+
+The interpreter is the library's ground truth: transformations are
+validated by checking that a transformed nest touches the same
+iterations/references (possibly in a different order), and the fast
+vectorized enumerators in :mod:`repro.trace` are property-tested against
+:func:`reference_trace` on small problem sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.ir.loops import LoopNest, Statement
+from repro.layout.array import ArraySpec
+
+__all__ = ["iterate", "reference_trace", "executed_statements"]
+
+
+def iterate(nest: LoopNest, params: Mapping[str, int]) -> Iterator[dict[str, int]]:
+    """Yield loop-variable bindings in execution order.
+
+    ``params`` binds symbolic parameters (``N``, tile sizes). Each yield
+    is a fresh dict mapping every loop variable to its value.
+    """
+
+    env = dict(params)
+
+    def rec(level: int) -> Iterator[dict[str, int]]:
+        if level == nest.depth:
+            yield {v: env[v] for v in nest.loop_vars}
+            return
+        lp = nest.loops[level]
+        for val in lp.range_values(env):
+            env[lp.var] = val
+            yield from rec(level + 1)
+        env.pop(lp.var, None)
+
+    yield from rec(0)
+
+
+def executed_statements(nest: LoopNest, params: Mapping[str, int]
+                        ) -> Iterator[tuple[dict[str, int], Statement]]:
+    """Yield (binding, statement) pairs for statements whose guards hold."""
+    base = dict(params)
+    for binding in iterate(nest, params):
+        env = {**base, **binding}
+        for st in nest.body:
+            if st.executes(env):
+                yield binding, st
+
+
+def reference_trace(nest: LoopNest, params: Mapping[str, int],
+                    layouts: Mapping[str, ArraySpec],
+                    origin: int = 1) -> Iterator[tuple[int, bool]]:
+    """Yield (element address, is_write) in exact program order.
+
+    ``origin`` converts the nest's subscript base (Fortran arrays are
+    1-based) to the 0-based :class:`ArraySpec` addressing.
+    """
+    base = dict(params)
+    for binding in iterate(nest, params):
+        env = {**base, **binding}
+        for st in nest.body:
+            if not st.executes(env):
+                continue
+            for ref in st.refs:
+                subs = ref.eval(env)
+                spec = layouts[ref.array]
+                idx = [s - origin for s in subs]
+                while len(idx) < 3:
+                    idx.append(0)
+                yield spec.addr(idx[0], idx[1], idx[2]), ref.is_write

@@ -1,0 +1,151 @@
+"""Loop nests: loops, guarded statements, and nest-level queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.errors import TransformError
+from repro.ir.expr import Affine, Bound, BoundLike, Mod2Guard
+from repro.ir.refs import ArrayRef
+
+__all__ = ["Loop", "Statement", "LoopNest"]
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One loop level: ``do var = lo, hi, step``.
+
+    ``lo`` is a max-bound and ``hi`` a min-bound for positive steps
+    (Fortran semantics: empty when lo > hi); reversed for negative
+    steps. ``step`` may not be zero.
+    """
+
+    var: str
+    lo: Bound
+    hi: Bound
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.step == 0:
+            raise TransformError(f"loop {self.var} has zero step")
+
+    @staticmethod
+    def make(var: str, lo: BoundLike, hi: BoundLike, step: int = 1) -> "Loop":
+        lo_kind = "max" if step > 0 else "min"
+        hi_kind = "min" if step > 0 else "max"
+        return Loop(var=var, lo=Bound.of(lo, lo_kind), hi=Bound.of(hi, hi_kind),
+                    step=step)
+
+    def range_values(self, env: Mapping[str, int]) -> range:
+        lo = self.lo.eval(env)
+        hi = self.hi.eval(env)
+        if self.step > 0:
+            return range(lo, hi + 1, self.step)
+        return range(lo, hi - 1, self.step)
+
+    def __repr__(self) -> str:
+        s = f", {self.step}" if self.step != 1 else ""
+        return f"do {self.var} = {self.lo!r}, {self.hi!r}{s}"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """A guarded assignment: its memory behaviour is its references.
+
+    ``refs`` are in program order (reads in textual order, then the
+    write, as executed). ``guards`` must all hold for the statement to
+    execute; this expresses both red-black parity and fused-loop range
+    guards (``if (K.le.N-1).and.(K.ge.2)``).
+    """
+
+    refs: tuple[ArrayRef, ...]
+    guards: tuple[Mod2Guard, ...] = ()
+    range_guards: tuple[tuple[Affine, Affine], ...] = ()  # (lo <= expr <= hi)
+    label: str = ""
+
+    def executes(self, env: Mapping[str, int]) -> bool:
+        for g in self.guards:
+            if not g.eval(env):
+                return False
+        for lo, hi in self.range_guards:
+            # Stored as (expr - lo_bound, hi_bound - expr): both must be >= 0.
+            if lo.eval(env) < 0 or hi.eval(env) < 0:
+                return False
+        return True
+
+    def substitute(self, env: Mapping[str, int | Affine]) -> "Statement":
+        return Statement(
+            refs=tuple(r.substitute(env) for r in self.refs),
+            guards=tuple(g.subs(env) for g in self.guards),
+            range_guards=tuple((lo.subs(env), hi.subs(env))
+                               for lo, hi in self.range_guards),
+            label=self.label,
+        )
+
+    @property
+    def reads(self) -> tuple[ArrayRef, ...]:
+        return tuple(r for r in self.refs if not r.is_write)
+
+    @property
+    def writes(self) -> tuple[ArrayRef, ...]:
+        return tuple(r for r in self.refs if r.is_write)
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A (possibly guarded) perfect loop nest with a statement body.
+
+    Imperfections in the paper's codes (the fused red-black ``if``)
+    are expressed as statement guards rather than structural nesting, so
+    all transformations operate on a single loop tuple.
+    """
+
+    loops: tuple[Loop, ...]
+    body: tuple[Statement, ...]
+    name: str = "nest"
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for lp in self.loops:
+            if lp.var in seen:
+                raise TransformError(f"duplicate loop variable {lp.var!r}")
+            seen.add(lp.var)
+
+    @property
+    def depth(self) -> int:
+        return len(self.loops)
+
+    @property
+    def loop_vars(self) -> tuple[str, ...]:
+        return tuple(lp.var for lp in self.loops)
+
+    def loop(self, var: str) -> Loop:
+        for lp in self.loops:
+            if lp.var == var:
+                return lp
+        raise TransformError(f"no loop {var!r} in nest {self.name!r}")
+
+    def loop_index(self, var: str) -> int:
+        for i, lp in enumerate(self.loops):
+            if lp.var == var:
+                return i
+        raise TransformError(f"no loop {var!r} in nest {self.name!r}")
+
+    def with_loops(self, loops: tuple[Loop, ...]) -> "LoopNest":
+        return replace(self, loops=loops)
+
+    def all_refs(self) -> tuple[ArrayRef, ...]:
+        out: list[ArrayRef] = []
+        for st in self.body:
+            out.extend(st.refs)
+        return tuple(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lines = []
+        for d, lp in enumerate(self.loops):
+            lines.append("  " * d + repr(lp))
+        for st in self.body:
+            for r in st.refs:
+                lines.append("  " * self.depth + repr(r))
+        return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Array references with affine subscripts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.ir.expr import Affine, AffineLike
+
+__all__ = ["ArrayRef"]
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A reference ``array(sub_0, sub_1, ...)`` with affine subscripts.
+
+    Subscripts are ordered innermost-first (Fortran: I, J, K), matching
+    the column-major layout convention of :mod:`repro.layout`.
+    """
+
+    array: str
+    subs: tuple[Affine, ...]
+    is_write: bool = False
+
+    @staticmethod
+    def make(array: str, *subs: AffineLike, is_write: bool = False) -> "ArrayRef":
+        return ArrayRef(array=array,
+                        subs=tuple(Affine.of(s) for s in subs),
+                        is_write=is_write)
+
+    @property
+    def rank(self) -> int:
+        return len(self.subs)
+
+    def eval(self, env: Mapping[str, int]) -> tuple[int, ...]:
+        """Concrete subscript values under a loop-variable binding."""
+        return tuple(s.eval(env) for s in self.subs)
+
+    def substitute(self, env: Mapping[str, int | Affine]) -> "ArrayRef":
+        return ArrayRef(self.array, tuple(s.subs(env) for s in self.subs),
+                        self.is_write)
+
+    def uniform_distance(self, other: "ArrayRef") -> tuple[int, ...] | None:
+        """Constant subscript-wise difference ``other - self``, if uniform.
+
+        Two references are *uniformly generated* when their subscripts
+        differ only by constants (all stencil refs are). Returns ``None``
+        when they reference different arrays or differ non-uniformly.
+        """
+        if self.array != other.array or self.rank != other.rank:
+            return None
+        out = []
+        for a, b in zip(self.subs, other.subs):
+            d = b - a
+            if not d.is_const:
+                return None
+            out.append(d.c)
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(map(repr, self.subs))
+        star = "*" if self.is_write else ""
+        return f"{self.array}{star}({inner})"

@@ -1,0 +1,139 @@
+"""Stencil patterns and IR builders for the paper's loop nests.
+
+:class:`StencilPattern` captures what tile selection needs from a
+kernel: the read-offset set, the margins ``(mi, mj)`` it induces, and
+the array tile depth ``ATD``. The module also constructs the paper's
+nests (Figures 1, 3, 13) as :class:`~repro.ir.loops.LoopNest` objects so
+transformations and the interpreter can operate on the real codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.expr import var
+from repro.ir.loops import Loop, LoopNest, Statement
+from repro.ir.refs import ArrayRef
+
+__all__ = [
+    "StencilPattern",
+    "JACOBI_2D",
+    "JACOBI_3D",
+    "RESID_27PT",
+    "REDBLACK_6PT",
+    "jacobi2d_nest",
+    "jacobi3d_nest",
+    "resid_nest",
+]
+
+
+@dataclass(frozen=True)
+class StencilPattern:
+    """Read-offset pattern of a stencil and the derived tiling metadata.
+
+    ``offsets`` are (di, dj, dk) subscript offsets of the reads.
+    """
+
+    name: str
+    offsets: tuple[tuple[int, int, int], ...]
+
+    @property
+    def mi(self) -> int:
+        """I-margin: spread of I offsets (the paper's ``m``)."""
+        ds = [o[0] for o in self.offsets]
+        return max(ds) - min(ds)
+
+    @property
+    def mj(self) -> int:
+        """J-margin: spread of J offsets (the paper's ``n``)."""
+        ds = [o[1] for o in self.offsets]
+        return max(ds) - min(ds)
+
+    @property
+    def k_span(self) -> int:
+        """Spread of K offsets (planes between leading/trailing refs)."""
+        ds = [o[2] for o in self.offsets]
+        return max(ds) - min(ds)
+
+    @property
+    def atd(self) -> int:
+        """Array tile depth: planes that must be simultaneously resident."""
+        return self.k_span + 1
+
+    @property
+    def points(self) -> int:
+        return len(self.offsets)
+
+
+def _box(reach_i: int, reach_j: int, reach_k: int,
+         include_center: bool = True) -> tuple[tuple[int, int, int], ...]:
+    out = []
+    for dk in range(-reach_k, reach_k + 1):
+        for dj in range(-reach_j, reach_j + 1):
+            for di in range(-reach_i, reach_i + 1):
+                if not include_center and (di, dj, dk) == (0, 0, 0):
+                    continue
+                out.append((di, dj, dk))
+    return tuple(out)
+
+
+#: 2D Jacobi's 4-point diamond (Figure 1), K offsets all zero.
+JACOBI_2D = StencilPattern("jacobi2d", (
+    (-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0)))
+
+#: 3D Jacobi's 6-point stencil (Figure 3).
+JACOBI_3D = StencilPattern("jacobi3d", (
+    (-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)))
+
+#: RESID's full 27-point box (Figure 13).
+RESID_27PT = StencilPattern("resid27", _box(1, 1, 1))
+
+#: Red-black SOR's 6-point neighbour set (center read separately).
+REDBLACK_6PT = StencilPattern("redblack", (
+    (-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0), (0, 0, -1), (0, 0, 1)))
+
+
+def jacobi2d_nest(n_sym: str = "N") -> LoopNest:
+    """Figure 1: 2D Jacobi iteration over A, B(N, N)."""
+    n = var(n_sym)
+    I, J = var("I"), var("J")
+    reads = [ArrayRef.make("B", I + o[0], J + o[1]) for o in JACOBI_2D.offsets]
+    body = Statement(refs=tuple(reads) + (ArrayRef.make("A", I, J, is_write=True),))
+    return LoopNest(
+        loops=(Loop.make("J", 2, n - 1), Loop.make("I", 2, n - 1)),
+        body=(body,), name="jacobi2d")
+
+
+def jacobi3d_nest(n_sym: str = "N") -> LoopNest:
+    """Figure 3: 3D Jacobi iteration over A, B(N, N, N)."""
+    n = var(n_sym)
+    I, J, K = var("I"), var("J"), var("K")
+    reads = [ArrayRef.make("B", I + o[0], J + o[1], K + o[2])
+             for o in JACOBI_3D.offsets]
+    body = Statement(refs=tuple(reads) +
+                     (ArrayRef.make("A", I, J, K, is_write=True),))
+    return LoopNest(
+        loops=(Loop.make("K", 2, n - 1), Loop.make("J", 2, n - 1),
+               Loop.make("I", 2, n - 1)),
+        body=(body,), name="jacobi3d")
+
+
+def resid_nest(n_sym: str = "N") -> LoopNest:
+    """Figure 13: the RESID 27-point kernel (loops I3, I2, I1).
+
+    U reads are ordered shell by shell (center, faces, edges, corners),
+    matching the A0/A1/A2/A3 term order of the source.
+    """
+    n = var(n_sym)
+    I, J, K = var("I1"), var("I2"), var("I3")
+    by_shell = sorted(RESID_27PT.offsets,
+                      key=lambda o: (abs(o[0]) + abs(o[1]) + abs(o[2])))
+    reads = [ArrayRef.make("V", I, J, K)]
+    reads += [ArrayRef.make("U", I + o[0], J + o[1], K + o[2])
+              for o in by_shell]
+    body = Statement(refs=tuple(reads) +
+                     (ArrayRef.make("R", I, J, K, is_write=True),))
+    return LoopNest(
+        loops=(Loop.make("I3", 2, n - 1), Loop.make("I2", 2, n - 1),
+               Loop.make("I1", 2, n - 1)),
+        body=(body,), name="resid")

@@ -1,0 +1,21 @@
+"""Source-to-source loop transformations on the IR.
+
+* :func:`~repro.ir.transforms.stripmine.stripmine` — split one loop into
+  a tile-controlling loop plus an intra-tile loop;
+* :func:`~repro.ir.transforms.permute.permute` — reorder loops (with
+  dependence legality checking);
+* :func:`~repro.ir.transforms.tile.tile` — the paper's basic
+  transformation: strip-mine a set of loops and move the tile loops
+  outermost (Figure 6 comes out of Figure 3 this way);
+* :func:`~repro.ir.transforms.fuse.fuse` — merge conformable nests;
+* :func:`~repro.ir.transforms.skew.skew` — skew one loop with respect to
+  an outer loop (used with fusion for the red-black schedule).
+"""
+
+from repro.ir.transforms.stripmine import stripmine
+from repro.ir.transforms.permute import permute
+from repro.ir.transforms.tile import tile
+from repro.ir.transforms.fuse import fuse
+from repro.ir.transforms.skew import skew
+
+__all__ = ["stripmine", "permute", "tile", "fuse", "skew"]

@@ -1,0 +1,53 @@
+"""Loop permutation with dependence and bound-scoping validation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import IllegalTransformError, TransformError
+from repro.ir.dependence import distance_vectors, legal_permutation
+from repro.ir.loops import LoopNest
+
+__all__ = ["permute"]
+
+
+def _bound_vars(loop) -> frozenset[str]:
+    vs: set[str] = set()
+    for b in (loop.lo, loop.hi):
+        for t in b.terms:
+            vs |= t.variables()
+    return frozenset(vs)
+
+
+def permute(nest: LoopNest, new_order: Sequence[str],
+            check_deps: bool = True) -> LoopNest:
+    """Reorder the nest's loops into ``new_order`` (outermost first).
+
+    Raises :class:`TransformError` when a loop bound would reference a
+    variable of a now-inner loop (triangular nests cannot be permuted
+    without bound recomputation, which tiling's own construction
+    avoids), and :class:`IllegalTransformError` when a dependence would
+    be violated (checked exactly via distance vectors).
+    """
+    if sorted(new_order) != sorted(nest.loop_vars):
+        raise TransformError(
+            f"permutation {new_order} is not a permutation of {nest.loop_vars}")
+
+    perm = [nest.loop_index(v) for v in new_order]
+    if check_deps:
+        deps = distance_vectors(nest)
+        if not legal_permutation(deps, perm):
+            raise IllegalTransformError(
+                f"permutation {tuple(new_order)} violates a dependence")
+
+    new_loops = tuple(nest.loops[p] for p in perm)
+    # Bound scoping: each loop's bounds may reference only outer loops
+    # (or symbolic parameters, which are never loop variables).
+    seen: set[str] = set()
+    for lp in new_loops:
+        bad = _bound_vars(lp) & (set(nest.loop_vars) - seen)
+        if bad:
+            raise TransformError(
+                f"loop {lp.var} bounds reference inner loop(s) {sorted(bad)}")
+        seen.add(lp.var)
+    return nest.with_loops(new_loops)

@@ -1,0 +1,48 @@
+"""Loop skewing: retime an inner loop against an outer loop.
+
+Skewing substitutes ``v -> v' - f*w`` (where ``w`` is an outer loop and
+``f`` the skew factor), shifting the inner loop's bounds by ``f*w``. It
+never changes the executed iteration set — only the coordinates — so it
+is always legal by itself; its purpose is to make a subsequent fusion or
+permutation legal (the red-black fused schedule is a skew-by-one of the
+black sweep against K, then fusion).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.ir.expr import Bound, var
+from repro.ir.loops import Loop, LoopNest
+
+__all__ = ["skew"]
+
+
+def skew(nest: LoopNest, inner: str, outer: str, factor: int = 1) -> LoopNest:
+    """Skew loop ``inner`` by ``factor`` times loop ``outer``.
+
+    The skewed loop keeps its variable name; subscripts and guards are
+    rewritten so the nest computes exactly what it did before.
+    """
+    ii = nest.loop_index(inner)
+    oi = nest.loop_index(outer)
+    if oi >= ii:
+        raise TransformError(
+            f"skew target {outer!r} must be outer to {inner!r}")
+    lp = nest.loop(inner)
+    shift = var(outer) * factor
+
+    new_lo = Bound(tuple(t + shift for t in lp.lo.terms), lp.lo.kind)
+    new_hi = Bound(tuple(t + shift for t in lp.hi.terms), lp.hi.kind)
+    new_loop = Loop(var=inner, lo=new_lo, hi=new_hi, step=lp.step)
+
+    # Rewrite all uses of the old variable: old_v == new_v - f*outer.
+    env = {inner: var(inner) - shift}
+    body = tuple(st.substitute(env) for st in nest.body)
+    # Inner-er loop bounds may also reference the skewed variable.
+    loops = list(nest.loops)
+    loops[ii] = new_loop
+    for d in range(ii + 1, len(loops)):
+        l = loops[d]
+        loops[d] = Loop(var=l.var, lo=l.lo.subs(env), hi=l.hi.subs(env),
+                        step=l.step)
+    return LoopNest(loops=tuple(loops), body=body, name=nest.name)

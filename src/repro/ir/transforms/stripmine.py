@@ -1,0 +1,39 @@
+"""Strip-mining: ``do I = lo, hi`` -> ``do II = lo, hi, T / do I = II, min(II+T-1, hi)``."""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.ir.expr import Affine, Bound, var
+from repro.ir.loops import Loop, LoopNest
+
+__all__ = ["stripmine"]
+
+
+def stripmine(nest: LoopNest, loop_var: str, size: int,
+              tile_var: str | None = None) -> LoopNest:
+    """Split ``loop_var`` into a tile loop and an intra-tile loop.
+
+    The tile loop takes the original bounds with step ``size``; the
+    intra-tile loop runs ``tile_var .. min(tile_var + size - 1, hi)``.
+    Strip-mining is always legal (it only renames iterations). Only
+    unit-step loops are supported — the paper's red-black stride-2 inner
+    loops are tiled at the kernel level, not through this generic path.
+    """
+    if size < 1:
+        raise TransformError(f"tile size must be positive, got {size}")
+    idx = nest.loop_index(loop_var)
+    lp = nest.loops[idx]
+    if lp.step != 1:
+        raise TransformError(
+            f"stripmine supports unit-step loops; {loop_var} has step {lp.step}")
+    tv = tile_var or (loop_var + loop_var)
+    if any(l.var == tv for l in nest.loops):
+        raise TransformError(f"tile variable {tv!r} already in use")
+
+    tile_loop = Loop(var=tv, lo=lp.lo, hi=lp.hi, step=size)
+    inner_hi = Bound.of(var(tv) + (size - 1), "min").merge(lp.hi, "min") \
+        if size > 1 else Bound.of(var(tv), "min")
+    inner = Loop(var=loop_var, lo=Bound.of(var(tv), "max"), hi=inner_hi, step=1)
+
+    loops = nest.loops[:idx] + (tile_loop, inner) + nest.loops[idx + 1:]
+    return nest.with_loops(loops)

@@ -1,0 +1,41 @@
+"""The paper's benchmark kernels: JACOBI, REDBLACK, RESID (Section 4.1).
+
+Every kernel offers three faces:
+
+* **metadata** (:class:`~repro.kernels.base.KernelMeta`) — stencil
+  margins, array tile depth, flops and references per iteration — which
+  is everything tile selection and the performance model need;
+* **trace generation** — the exact reference string of a chosen schedule
+  (untiled / tiled / fused / ...) for the cache simulator;
+* **numeric execution** — numpy implementations of every schedule, used
+  to prove the transformed iteration orders compute identical answers
+  and for wall-clock micro-benchmarks.
+"""
+
+from repro.kernels.base import KernelMeta, StencilKernel, Schedule
+from repro.kernels.jacobi2d import Jacobi2D
+from repro.kernels.jacobi3d import Jacobi3D
+from repro.kernels.redblack import RedBlack3D
+from repro.kernels.resid import Resid
+from repro.kernels.psinv import Psinv
+from repro.kernels import mg_ops
+
+KERNELS = {
+    "JACOBI": Jacobi3D,
+    "REDBLACK": RedBlack3D,
+    "RESID": Resid,
+    "PSINV": Psinv,
+}
+
+__all__ = [
+    "KernelMeta",
+    "StencilKernel",
+    "Schedule",
+    "Jacobi2D",
+    "Jacobi3D",
+    "Psinv",
+    "RedBlack3D",
+    "Resid",
+    "KERNELS",
+    "mg_ops",
+]

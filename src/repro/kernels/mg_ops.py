@@ -1,0 +1,177 @@
+"""NAS-MG-style grid operators: residual, smoother, restrict, interpolate.
+
+These are the four operators MGRID's V-cycle is built from (the paper's
+Section 4.6 application study). Grids are cubic ``(n, n, n)`` arrays with
+``n = 2^l + 1`` points per dimension, Dirichlet-zero boundaries at
+indices 0 and n-1. All operators are whole-array vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "resid_op",
+    "psinv_op",
+    "rprj3",
+    "interp",
+    "residual_norm",
+    "coarse_size",
+]
+
+#: NAS MG residual coefficients (A0..A3) — see kernels.resid.
+NAS_A = (-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0)
+#: NAS MG smoother coefficients (C0..C3), class S/W values.
+NAS_C = (-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0)
+
+
+def _shell_sums(u: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                        np.ndarray, np.ndarray]:
+    """Interior sums of the 27-point shells: center, faces, edges, corners."""
+    c = u[1:-1, 1:-1, 1:-1]
+    f = (u[:-2, 1:-1, 1:-1] + u[2:, 1:-1, 1:-1] +
+         u[1:-1, :-2, 1:-1] + u[1:-1, 2:, 1:-1] +
+         u[1:-1, 1:-1, :-2] + u[1:-1, 1:-1, 2:])
+    e = (u[:-2, :-2, 1:-1] + u[2:, :-2, 1:-1] +
+         u[:-2, 2:, 1:-1] + u[2:, 2:, 1:-1] +
+         u[:-2, 1:-1, :-2] + u[2:, 1:-1, :-2] +
+         u[:-2, 1:-1, 2:] + u[2:, 1:-1, 2:] +
+         u[1:-1, :-2, :-2] + u[1:-1, 2:, :-2] +
+         u[1:-1, :-2, 2:] + u[1:-1, 2:, 2:])
+    x = (u[:-2, :-2, :-2] + u[2:, :-2, :-2] +
+         u[:-2, 2:, :-2] + u[2:, 2:, :-2] +
+         u[:-2, :-2, 2:] + u[2:, :-2, 2:] +
+         u[:-2, 2:, 2:] + u[2:, 2:, 2:])
+    return c, f, e, x
+
+
+def resid_op(u: np.ndarray, v: np.ndarray,
+             a: tuple[float, float, float, float] = NAS_A,
+             tile: tuple[int, int] | None = None) -> np.ndarray:
+    """``r = v - A u`` with the 27-point operator; boundaries zero.
+
+    With ``tile=(ti, tj)`` the computation runs in the paper's tiled
+    block order (numerically identical; exercised by the MGRID
+    application study when tiling the finest grid's RESID).
+    """
+    r = np.zeros_like(u)
+    if tile is None:
+        _resid_block(r, u, v, a, (1, u.shape[0] - 1), (1, u.shape[1] - 1))
+        return r
+    ti, tj = tile
+    n0, n1 = u.shape[0], u.shape[1]
+    for jlo in range(1, n1 - 1, tj):
+        jhi = min(jlo + tj, n1 - 1)
+        for ilo in range(1, n0 - 1, ti):
+            ihi = min(ilo + ti, n0 - 1)
+            _resid_block(r, u, v, a, (ilo, ihi), (jlo, jhi))
+    return r
+
+
+def _resid_block(r: np.ndarray, u: np.ndarray, v: np.ndarray,
+                 a: tuple[float, float, float, float],
+                 irange: tuple[int, int], jrange: tuple[int, int]) -> None:
+    ilo, ihi = irange
+    jlo, jhi = jrange
+    kz = u.shape[2] - 1
+
+    def shell(offsets) -> np.ndarray:
+        total = None
+        for di, dj, dk in offsets:
+            term = u[ilo + di:ihi + di, jlo + dj:jhi + dj, 1 + dk:kz + dk]
+            total = term.copy() if total is None else total + term
+        return total
+
+    out = v[ilo:ihi, jlo:jhi, 1:kz] - a[0] * u[ilo:ihi, jlo:jhi, 1:kz]
+    if a[1] != 0.0:
+        out = out - a[1] * shell(_FACE_OFFS)
+    if a[2] != 0.0:
+        out = out - a[2] * shell(_EDGE_OFFS)
+    if a[3] != 0.0:
+        out = out - a[3] * shell(_CORNER_OFFS)
+    r[ilo:ihi, jlo:jhi, 1:kz] = out
+
+
+_FACE_OFFS = ((-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0),
+              (0, 0, -1), (0, 0, 1))
+_EDGE_OFFS = ((-1, -1, 0), (1, -1, 0), (-1, 1, 0), (1, 1, 0),
+              (-1, 0, -1), (1, 0, -1), (-1, 0, 1), (1, 0, 1),
+              (0, -1, -1), (0, 1, -1), (0, -1, 1), (0, 1, 1))
+_CORNER_OFFS = ((-1, -1, -1), (1, -1, -1), (-1, 1, -1), (1, 1, -1),
+                (-1, -1, 1), (1, -1, 1), (-1, 1, 1), (1, 1, 1))
+
+
+def psinv_op(r: np.ndarray, u: np.ndarray,
+             c: tuple[float, float, float, float] = NAS_C) -> None:
+    """Approximate-inverse smoothing: ``u += C r`` (27-point), in place."""
+    cc, f, e, x = _shell_sums(r)
+    upd = c[0] * cc
+    if c[1] != 0.0:
+        upd = upd + c[1] * f
+    if c[2] != 0.0:
+        upd = upd + c[2] * e
+    if c[3] != 0.0:
+        upd = upd + c[3] * x
+    u[1:-1, 1:-1, 1:-1] += upd
+
+
+def coarse_size(n: int) -> int:
+    """Coarse-grid points for a fine grid of ``n = 2^l + 1`` points."""
+    if n < 5 or (n - 1) & (n - 2):
+        raise ConfigurationError(f"grid size must be 2^l + 1 >= 5, got {n}")
+    return (n - 1) // 2 + 1
+
+
+def rprj3(fine: np.ndarray) -> np.ndarray:
+    """Full-weighting restriction (the 27-point transpose of interp).
+
+    Coarse interior point (I,J,K) averages fine points around (2I,2J,2K)
+    with weights 8/64 (center), 4/64 (faces), 2/64 (edges), 1/64
+    (corners).
+    """
+    n = fine.shape[0]
+    nc = coarse_size(n)
+    coarse = np.zeros((nc, nc, nc), dtype=fine.dtype)
+    # Fine-grid view at coarse centres: strided slices of step 2.
+    ctr = fine[2:-2:2, 2:-2:2, 2:-2:2]
+
+    def sh(di: int, dj: int, dk: int) -> np.ndarray:
+        return fine[2 + di:n - 2 + di:2, 2 + dj:n - 2 + dj:2,
+                    2 + dk:n - 2 + dk:2]
+
+    faces = (sh(-1, 0, 0) + sh(1, 0, 0) + sh(0, -1, 0) + sh(0, 1, 0) +
+             sh(0, 0, -1) + sh(0, 0, 1))
+    edges = sum(sh(*o) for o in (
+        (-1, -1, 0), (1, -1, 0), (-1, 1, 0), (1, 1, 0),
+        (-1, 0, -1), (1, 0, -1), (-1, 0, 1), (1, 0, 1),
+        (0, -1, -1), (0, 1, -1), (0, -1, 1), (0, 1, 1)))
+    corners = sum(sh(*o) for o in (
+        (-1, -1, -1), (1, -1, -1), (-1, 1, -1), (1, 1, -1),
+        (-1, -1, 1), (1, -1, 1), (-1, 1, 1), (1, 1, 1)))
+    coarse[1:-1, 1:-1, 1:-1] = (8 * ctr + 4 * faces + 2 * edges + corners) / 64.0
+    return coarse
+
+
+def interp(coarse: np.ndarray, n_fine: int | None = None) -> np.ndarray:
+    """Trilinear prolongation: coarse correction up to the fine grid."""
+    nc = coarse.shape[0]
+    n = n_fine if n_fine is not None else 2 * (nc - 1) + 1
+    if n != 2 * (nc - 1) + 1:
+        raise ConfigurationError(
+            f"fine size {n} incompatible with coarse size {nc}")
+    fine = np.zeros((n, n, n), dtype=coarse.dtype)
+    fine[::2, ::2, ::2] = coarse
+    # Interpolate odd positions dimension by dimension (tensor-product).
+    fine[1::2, :, :] = 0.5 * (fine[0:-1:2, :, :] + fine[2::2, :, :])
+    fine[:, 1::2, :] = 0.5 * (fine[:, 0:-1:2, :] + fine[:, 2::2, :])
+    fine[:, :, 1::2] = 0.5 * (fine[:, :, 0:-1:2] + fine[:, :, 2::2])
+    return fine
+
+
+def residual_norm(u: np.ndarray, v: np.ndarray,
+                  a: tuple[float, float, float, float] = NAS_A) -> float:
+    """L2 norm of the residual, normalized by point count."""
+    r = resid_op(u, v, a)
+    return float(np.sqrt(np.mean(r * r)))

@@ -1,0 +1,24 @@
+"""Array layout substrate: column-major address math and padding.
+
+The paper analyses Fortran arrays, so all address computations here are
+column-major ("I" fastest). :class:`~repro.layout.array.ArraySpec` is the
+single source of truth mapping (i, j, k) subscripts to linear element
+addresses; padding is expressed by allocating an ArraySpec whose declared
+dimensions exceed the used extent.
+"""
+
+from repro.layout.array import ArraySpec
+from repro.layout.padding import (
+    MemoryReport,
+    apply_pad,
+    inter_variable_pads,
+    memory_overhead,
+)
+
+__all__ = [
+    "ArraySpec",
+    "MemoryReport",
+    "apply_pad",
+    "inter_variable_pads",
+    "memory_overhead",
+]

@@ -1,0 +1,154 @@
+"""Column-major array specifications.
+
+An :class:`ArraySpec` describes a (up to) 3D Fortran array as laid out in
+memory: declared dimensions ``(di, dj, dk)``, a base element address, and
+an element size in bytes.  It converts subscripts to linear element
+addresses both for scalars and for whole numpy index arrays (the hot path
+for trace generation), so no Python-level per-element loop ever touches
+address math.
+
+Subscripts are **0-based** here; the paper's Fortran codes are 1-based,
+and the translation happens in the kernel/trace layer where loop bounds
+are defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LayoutError
+
+__all__ = ["ArraySpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class ArraySpec:
+    """Layout of a column-major ``di x dj x dk`` array.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traces and reports (e.g. ``"B"``).
+    di, dj, dk:
+        Declared dimension sizes in elements. ``dk`` may exceed the used
+        extent (the paper's ``M`` planes); only addressing depends on it.
+    base:
+        Base address of element (0, 0, 0), in **elements** (not bytes).
+        Distinct arrays in a kernel get disjoint address ranges.
+    elem_bytes:
+        Size of one element in bytes (8 for float64). Only used when
+        converting to byte addresses for cache-line math.
+    """
+
+    name: str
+    di: int
+    dj: int
+    dk: int = 1
+    base: int = 0
+    elem_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.di < 1 or self.dj < 1 or self.dk < 1:
+            raise LayoutError(f"array dims must be positive: {self}")
+        if self.base < 0:
+            raise LayoutError(f"base address must be non-negative: {self}")
+        if self.elem_bytes < 1:
+            raise LayoutError(f"element size must be positive: {self}")
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def plane(self) -> int:
+        """Elements per (i, j) plane: the K-stride."""
+        return self.di * self.dj
+
+    @property
+    def size(self) -> int:
+        """Total declared elements."""
+        return self.di * self.dj * self.dk
+
+    @property
+    def end(self) -> int:
+        """One past the last element address (elements)."""
+        return self.base + self.size
+
+    def with_dims(self, di: int | None = None, dj: int | None = None,
+                  dk: int | None = None, base: int | None = None) -> "ArraySpec":
+        """Return a copy with some dimensions replaced (used for padding)."""
+        return ArraySpec(
+            name=self.name,
+            di=self.di if di is None else di,
+            dj=self.dj if dj is None else dj,
+            dk=self.dk if dk is None else dk,
+            base=self.base if base is None else base,
+            elem_bytes=self.elem_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+    def addr(self, i: int, j: int, k: int = 0) -> int:
+        """Element address of 0-based subscript (i, j, k)."""
+        if not (0 <= i < self.di and 0 <= j < self.dj and 0 <= k < self.dk):
+            raise LayoutError(
+                f"subscript ({i}, {j}, {k}) out of bounds for {self.name}"
+                f" [{self.di} x {self.dj} x {self.dk}]"
+            )
+        return self.base + i + j * self.di + k * self.plane
+
+    def addr_array(self, i: np.ndarray, j: np.ndarray, k: np.ndarray | int = 0,
+                   check: bool = False) -> np.ndarray:
+        """Vectorized element addresses for arrays of subscripts.
+
+        ``i``, ``j``, ``k`` broadcast together. With ``check=True`` the
+        subscripts are bounds-checked (slow path, used by tests).
+        """
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        k = np.asarray(k, dtype=np.int64)
+        if check:
+            if (i.size and (i.min() < 0 or i.max() >= self.di)) or \
+               (j.size and (j.min() < 0 or j.max() >= self.dj)) or \
+               (k.size and (k.min() < 0 or k.max() >= self.dk)):
+                raise LayoutError(f"subscripts out of bounds for {self.name}")
+        return self.base + i + j * np.int64(self.di) + k * np.int64(self.plane)
+
+    def byte_addr(self, i: int, j: int, k: int = 0) -> int:
+        """Byte address of a subscript (for cache-line computations)."""
+        return self.addr(i, j, k) * self.elem_bytes
+
+    def unaddr(self, addr: int) -> tuple[int, int, int]:
+        """Inverse of :meth:`addr`: element address back to (i, j, k)."""
+        off = addr - self.base
+        if not (0 <= off < self.size):
+            raise LayoutError(f"address {addr} not within {self.name}")
+        k, rem = divmod(off, self.plane)
+        j, i = divmod(rem, self.di)
+        return (int(i), int(j), int(k))
+
+    def overlaps(self, other: "ArraySpec") -> bool:
+        """Whether two arrays' address ranges intersect."""
+        return self.base < other.end and other.base < self.end
+
+
+def allocate(specs: list[tuple[str, int, int, int]], elem_bytes: int = 8,
+             gap: int = 0, base: int = 0) -> dict[str, ArraySpec]:
+    """Lay out several arrays back-to-back in one address space.
+
+    ``specs`` is a list of ``(name, di, dj, dk)``. ``gap`` inserts unused
+    elements between consecutive arrays (inter-variable padding).
+    Returns a dict name -> :class:`ArraySpec` with disjoint ranges.
+    """
+    out: dict[str, ArraySpec] = {}
+    cursor = base
+    for name, di, dj, dk in specs:
+        if name in out:
+            raise LayoutError(f"duplicate array name {name!r}")
+        spec = ArraySpec(name=name, di=di, dj=dj, dk=dk, base=cursor,
+                         elem_bytes=elem_bytes)
+        out[name] = spec
+        cursor = spec.end + gap
+    return out

@@ -1,0 +1,110 @@
+"""Padding application and memory accounting.
+
+The tile-selection heuristics in :mod:`repro.core` *decide* pad amounts;
+this module *applies* them to :class:`~repro.layout.array.ArraySpec`
+objects and accounts for the memory they cost (Figure 22 of the paper).
+
+Two forms of padding appear in the paper:
+
+* **intra-array padding** — growing the lower declared dimensions
+  ``DI -> DI_p``, ``DJ -> DJ_p`` so non-conflicting tiles exist
+  (Sections 3.4.1-3.4.2);
+* **inter-variable padding** — offsetting the base addresses of distinct
+  arrays so each maps to its own portion of the cache (Section 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+from repro.layout.array import ArraySpec
+
+__all__ = ["apply_pad", "memory_overhead", "inter_variable_pads", "MemoryReport"]
+
+
+def apply_pad(spec: ArraySpec, di_p: int, dj_p: int) -> ArraySpec:
+    """Return ``spec`` re-declared with padded lower dimensions.
+
+    The used extent is unchanged; only the declared dimensions (and hence
+    the address strides) grow. Raises :class:`LayoutError` if the pad
+    would shrink a dimension.
+    """
+    if di_p < spec.di or dj_p < spec.dj:
+        raise LayoutError(
+            f"pad must not shrink dims: {spec.di}x{spec.dj} -> {di_p}x{dj_p}"
+        )
+    return spec.with_dims(di=di_p, dj=dj_p)
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryReport:
+    """Memory accounting for a padding decision on one array."""
+
+    base_elements: int
+    padded_elements: int
+
+    @property
+    def extra_elements(self) -> int:
+        return self.padded_elements - self.base_elements
+
+    @property
+    def overhead(self) -> float:
+        """Fractional increase, e.g. 0.147 for +14.7%."""
+        return self.extra_elements / self.base_elements
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.overhead
+
+
+def memory_overhead(di: int, dj: int, dk: int, di_p: int, dj_p: int,
+                    dk_p: int | None = None) -> MemoryReport:
+    """Memory increase of padding a ``DI x DJ x DK`` array.
+
+    ``dk_p`` defaults to ``dk`` (the paper never pads the outermost
+    dimension — padding it cannot affect intra-tile conflicts).
+    """
+    if dk_p is None:
+        dk_p = dk
+    if di_p < di or dj_p < dj or dk_p < dk:
+        raise LayoutError("padded dims must not shrink")
+    return MemoryReport(base_elements=di * dj * dk,
+                        padded_elements=di_p * dj_p * dk_p)
+
+
+def inter_variable_pads(specs: list[ArraySpec], cache_elems: int,
+                        partitions: list[int] | None = None) -> list[ArraySpec]:
+    """Offset array bases so each maps to its own cache region (Sec 3.5).
+
+    Given ``n`` arrays and a cache of ``cache_elems`` elements, assign
+    array ``a`` the cache offset ``sum(partitions[:a])`` by padding its
+    base address so ``base mod cache_elems`` equals that offset.  With
+    ``partitions=None`` the cache is split evenly.
+
+    Returns new specs in the same order, with strictly increasing,
+    non-overlapping address ranges.
+    """
+    n = len(specs)
+    if n == 0:
+        return []
+    if partitions is None:
+        share = cache_elems // n
+        partitions = [share] * n
+    if len(partitions) != n:
+        raise LayoutError("need one partition size per array")
+    if sum(partitions) > cache_elems:
+        raise LayoutError("partitions exceed cache size")
+
+    out: list[ArraySpec] = []
+    cursor = specs[0].base
+    offset = 0
+    for spec, part in zip(specs, partitions):
+        # Advance cursor to the next address congruent to `offset` mod cache.
+        rem = (offset - cursor) % cache_elems
+        base = cursor + rem
+        padded = spec.with_dims(base=base)
+        out.append(padded)
+        cursor = padded.end
+        offset = (offset + part) % cache_elems
+    return out

@@ -1,0 +1,14 @@
+"""MGRID-style multigrid solver (the paper's Section 4.6 application).
+
+A full V-cycle solver built from the NAS-MG operators in
+:mod:`repro.kernels.mg_ops`: 27-point residual, approximate-inverse
+smoothing, full-weighting restriction, trilinear prolongation. The
+solver can execute the finest grid's RESID in the paper's tiled block
+order (numerically identical), and it records per-level operator work
+so the application-speedup experiment can model total execution time.
+"""
+
+from repro.multigrid.hierarchy import GridHierarchy
+from repro.multigrid.solver import MGSolver, SolveReport, OpCounts
+
+__all__ = ["GridHierarchy", "MGSolver", "SolveReport", "OpCounts"]

@@ -1,0 +1,21 @@
+"""Analytic machine performance model.
+
+Pure-Python execution cannot exhibit hardware cache behaviour, so — as
+documented in DESIGN.md — the paper's MFlops figures are reproduced by
+driving an UltraSparc2-calibrated latency model with the simulated miss
+counts. The model captures exactly the effects the paper discusses:
+memory stalls proportional to L1/L2 misses, and loop overhead that
+penalizes pathologically thin tiles.
+"""
+
+from repro.perfmodel.machine import MachineModel, ULTRASPARC2_360, ULTRASPARC2_450
+from repro.perfmodel.model import PerfEstimate, RunCounts, predict
+
+__all__ = [
+    "MachineModel",
+    "ULTRASPARC2_360",
+    "ULTRASPARC2_450",
+    "PerfEstimate",
+    "RunCounts",
+    "predict",
+]

@@ -1,0 +1,58 @@
+"""Machine parameter presets.
+
+The latency values are representative of the UltraSparc2 generation
+(in-order, 4-way issue with one load/store per cycle, on-chip 16K L1,
+off-chip 2M L2): an L1 miss serviced by the L2 costs on the order of
+ten cycles, an L2 miss costs several tens. Absolute MFlops need not
+match the paper's hardware (see EXPERIMENTS.md); what matters is that
+stall time scales with the simulated miss counts the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MachineModel", "ULTRASPARC2_360", "ULTRASPARC2_450"]
+
+
+@dataclass(frozen=True, slots=True)
+class MachineModel:
+    """Latency/throughput parameters for the analytic model.
+
+    All costs are in cycles. ``flop_cycles`` and ``ref_cycles`` are
+    effective per-operation throughputs assuming cache hits;
+    ``l1_miss_cycles``/``l2_miss_cycles`` are *additional* penalties per
+    miss at that level. ``iter_overhead_cycles`` models loop control per
+    innermost iteration and ``tile_overhead_cycles`` per executed tile
+    (bounds computation, the min/max clamps of Figure 6).
+    """
+
+    name: str
+    clock_hz: float
+    flop_cycles: float = 1.0
+    ref_cycles: float = 0.5
+    l1_miss_cycles: float = 10.0
+    l2_miss_cycles: float = 60.0
+    iter_overhead_cycles: float = 1.0
+    tile_overhead_cycles: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigurationError(f"clock must be positive: {self}")
+        for f in ("flop_cycles", "ref_cycles", "l1_miss_cycles",
+                  "l2_miss_cycles", "iter_overhead_cycles",
+                  "tile_overhead_cycles"):
+            if getattr(self, f) < 0:
+                raise ConfigurationError(f"{f} must be non-negative: {self}")
+
+    def seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+
+#: The paper's main platform: 360 MHz UltraSparc2.
+ULTRASPARC2_360 = MachineModel(name="UltraSparc2-360", clock_hz=360e6)
+
+#: The platform of Figures 20-21: 450 MHz UltraSparc2.
+ULTRASPARC2_450 = MachineModel(name="UltraSparc2-450", clock_hz=450e6)

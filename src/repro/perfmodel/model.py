@@ -1,0 +1,56 @@
+"""Miss counts + operation counts -> predicted time and MFlops."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.machine import MachineModel
+
+__all__ = ["RunCounts", "PerfEstimate", "predict"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunCounts:
+    """Everything one kernel sweep costs, in machine-independent units."""
+
+    iterations: int
+    flops: float
+    refs: int
+    l1_misses: int
+    l2_misses: int
+    tiles: int = 1  # executed (JJ, II) tiles; 1 when untiled
+
+    def __post_init__(self) -> None:
+        if min(self.iterations, self.refs, self.l1_misses,
+               self.l2_misses, self.tiles) < 0 or self.flops < 0:
+            raise ConfigurationError(f"counts must be non-negative: {self}")
+
+
+@dataclass(frozen=True, slots=True)
+class PerfEstimate:
+    """Predicted execution profile of one sweep."""
+
+    seconds: float
+    cycles: float
+    mflops: float
+    stall_fraction: float  # share of cycles spent in miss stalls
+
+
+def predict(counts: RunCounts, machine: MachineModel) -> PerfEstimate:
+    """Apply the latency model.
+
+    cycles = flops*c_f + refs*c_r + iters*c_loop + tiles*c_tile
+             + L1misses*c_l1 + L2misses*c_l2
+    """
+    compute = (counts.flops * machine.flop_cycles
+               + counts.refs * machine.ref_cycles
+               + counts.iterations * machine.iter_overhead_cycles
+               + counts.tiles * machine.tile_overhead_cycles)
+    stalls = (counts.l1_misses * machine.l1_miss_cycles
+              + counts.l2_misses * machine.l2_miss_cycles)
+    cycles = compute + stalls
+    seconds = machine.seconds(cycles)
+    mflops = counts.flops / seconds / 1e6 if seconds > 0 else 0.0
+    return PerfEstimate(seconds=seconds, cycles=cycles, mflops=mflops,
+                        stall_fraction=stalls / cycles if cycles else 0.0)

@@ -1,0 +1,38 @@
+"""Time-skewed tiling: the paper's stated future work, implemented.
+
+Sections 2.1 and 6 position the paper's transformations as
+complementary to time skewing (Song & Li, Wonnacott): the paper's
+methods exploit *group* reuse inside one sweep; time skewing exploits
+*temporal* reuse across sweeps of the time-step loop, but needs
+non-conflicting tile footprints to survive a direct-mapped cache —
+"in the future we hope to combine our techniques with theirs to
+generate non-conflicting time-skewed stencil computations".
+
+This package does that combination for the paper's "simplified stencil
+code" (Figure 5 top — a time loop around one 2D Jacobi sweep with
+ping-pong arrays):
+
+* :mod:`~repro.timeskew.schedule` — the skewed (parallelogram) tile
+  schedule over the (T, J) dimensions, as a vectorized iteration/trace
+  enumerator and as a numerically identical executor;
+* :mod:`~repro.timeskew.select` — tile-width selection that accounts
+  for the skew-widened footprint and reuses the exact non-conflict
+  frontier of :mod:`repro.core`.
+"""
+
+from repro.timeskew.schedule import (
+    SkewedSchedule,
+    skewed_trace,
+    run_skewed,
+    run_reference,
+)
+from repro.timeskew.select import select_skewed_tile, skewed_footprint_columns
+
+__all__ = [
+    "SkewedSchedule",
+    "skewed_trace",
+    "run_skewed",
+    "run_reference",
+    "select_skewed_tile",
+    "skewed_footprint_columns",
+]

@@ -1,0 +1,18 @@
+"""Vectorized reference-trace generation.
+
+A *trace* is the sequence of (byte address, is-write) references a loop
+nest issues, in exact program order. The cache simulators consume traces
+chunk-by-chunk so nothing large is ever materialized.
+
+:mod:`repro.trace.enumerators` produces iteration-space coordinates in
+execution order for each schedule the paper uses (untiled, 2-loop tiled,
+3-loop tiled, red-black naive / fused / tiled-fused);
+:mod:`repro.trace.generator` turns coordinates plus a reference list
+into interleaved addresses. Both are property-tested against the slow IR
+interpreter (:mod:`repro.ir.interp`).
+"""
+
+from repro.trace.generator import Ref, trace_chunks, kernel_refs
+from repro.trace import enumerators
+
+__all__ = ["Ref", "trace_chunks", "kernel_refs", "enumerators"]

@@ -1,0 +1,212 @@
+"""Iteration-space enumerators: 1-based coordinates in execution order.
+
+Each enumerator is a generator yielding ``(I, J, K)`` triples of int64
+arrays — one chunk of iterations in exact program order. Coordinates are
+1-based like the paper's Fortran codes; loop bodies run over the
+interior ``2..N-1``.
+
+Chunking strategy: chunks follow natural schedule boundaries (a K-plane
+for untiled sweeps, a (JJ, II) tile slab for tiled ones) so that memory
+stays bounded while chunks remain large enough to amortize numpy call
+overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import TraceError
+
+__all__ = [
+    "untiled_3d",
+    "tiled_3d",
+    "tiled_3loop",
+    "redblack_naive",
+    "redblack_fused",
+    "redblack_tiled",
+]
+
+Chunk = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def _plane(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """(I, J) coordinates of one K-plane interior sweep, J outer/I inner."""
+    j, i = np.meshgrid(np.arange(2, n, dtype=np.int64),
+                       np.arange(2, n, dtype=np.int64), indexing="ij")
+    return i.ravel(), j.ravel()
+
+
+def untiled_3d(n: int, nk: int | None = None) -> Iterator[Chunk]:
+    """Figure 3 order: K outer, J middle, I inner; one chunk per plane.
+
+    ``n`` is the I/J extent, ``nk`` the K extent (defaults to ``n``; the
+    paper's experiments fix it at 30).
+    """
+    nk = n if nk is None else nk
+    if n < 3 or nk < 3:
+        raise TraceError(f"need N, NK >= 3 for an interior sweep, got {n}, {nk}")
+    i, j = _plane(n)
+    for k in range(2, nk):
+        yield i, j, np.full(i.size, k, dtype=np.int64)
+
+
+def _tile_ranges(n: int, start: int, t: int) -> Iterator[tuple[int, int]]:
+    """Fortran tile loop ``do X = start, n-1, t``: (lo, hi) inclusive."""
+    for lo in range(start, n, t):
+        yield lo, min(lo + t - 1, n - 1)
+
+
+def tiled_3d(n: int, ti: int, tj: int, nk: int | None = None) -> Iterator[Chunk]:
+    """Figure 6 order: JJ, II outer; K, J, I inner. One chunk per tile."""
+    nk = n if nk is None else nk
+    if n < 3 or nk < 3:
+        raise TraceError(f"need N, NK >= 3, got {n}, {nk}")
+    if ti < 1 or tj < 1:
+        raise TraceError(f"tile sizes must be positive: ({ti}, {tj})")
+    ks = np.arange(2, nk, dtype=np.int64)
+    for jlo, jhi in _tile_ranges(n, 2, tj):
+        js = np.arange(jlo, jhi + 1, dtype=np.int64)
+        for ilo, ihi in _tile_ranges(n, 2, ti):
+            is_ = np.arange(ilo, ihi + 1, dtype=np.int64)
+            k, j, i = np.meshgrid(ks, js, is_, indexing="ij")
+            yield i.ravel(), j.ravel(), k.ravel()
+
+
+def tiled_3loop(n: int, ti: int, tj: int, tk: int,
+                nk: int | None = None) -> Iterator[Chunk]:
+    """Wolf-Lam-style 3-loop tiling: KK, JJ, II outer; K, J, I inner."""
+    nk = n if nk is None else nk
+    if ti < 1 or tj < 1 or tk < 1:
+        raise TraceError(f"tile sizes must be positive: ({ti}, {tj}, {tk})")
+    for klo, khi in _tile_ranges(nk, 2, tk):
+        ks = np.arange(klo, khi + 1, dtype=np.int64)
+        for jlo, jhi in _tile_ranges(n, 2, tj):
+            js = np.arange(jlo, jhi + 1, dtype=np.int64)
+            for ilo, ihi in _tile_ranges(n, 2, ti):
+                is_ = np.arange(ilo, ihi + 1, dtype=np.int64)
+                k, j, i = np.meshgrid(ks, js, is_, indexing="ij")
+                yield i.ravel(), j.ravel(), k.ravel()
+
+
+# ----------------------------------------------------------------------
+# red-black SOR schedules (Figure 12)
+# ----------------------------------------------------------------------
+
+def _parity_rows(n: int, istart_per_j: np.ndarray,
+                 js: np.ndarray, ihi: int) -> tuple[np.ndarray, np.ndarray]:
+    """Rows of stride-2 I values with per-J start, preserving J order.
+
+    ``istart_per_j[r]`` is the first I of row ``js[r]``; every row ends
+    at ``ihi``. Returns flat (I, J) in (J outer, I inner) order.
+    """
+    counts = (ihi - istart_per_j) // 2 + 1
+    np.clip(counts, 0, None, out=counts)
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    js_flat = np.repeat(js, counts)
+    starts_flat = np.repeat(istart_per_j, counts)
+    cum = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+    t = np.arange(total, dtype=np.int64) - np.repeat(cum[:-1], counts)
+    return starts_flat + 2 * t, js_flat
+
+
+def redblack_naive(n: int, nk: int | None = None) -> Iterator[Chunk]:
+    """Figure 12 top: all red points (odd=0) then all black (odd=1).
+
+    Inner loop ``do I = 2+mod(K+J+odd, 2), N-1, 2``.
+    """
+    nk = n if nk is None else nk
+    if n < 3 or nk < 3:
+        raise TraceError(f"need N, NK >= 3, got {n}, {nk}")
+    js = np.arange(2, n, dtype=np.int64)
+    for odd in (0, 1):
+        for k in range(2, nk):
+            istart = 2 + (k + js + odd) % 2
+            i, j = _parity_rows(n, istart, js, n - 1)
+            yield i, j, np.full(i.size, k, dtype=np.int64)
+
+
+def redblack_fused(n: int, nk: int | None = None) -> Iterator[Chunk]:
+    """Figure 12 middle: fused schedule — red(KK+1) then black(KK).
+
+    ``do KK=1,N-1 / do K=KK+1,KK,-1`` with the 2 <= K <= N-1 guard; the
+    inner I start is ``2 + mod(KK+J+1, 2)`` for both K values.
+    """
+    nk = n if nk is None else nk
+    if n < 3 or nk < 3:
+        raise TraceError(f"need N, NK >= 3, got {n}, {nk}")
+    js = np.arange(2, n, dtype=np.int64)
+    for kk in range(1, nk):
+        istart = 2 + (kk + js + 1) % 2
+        for k in (kk + 1, kk):
+            if not (2 <= k <= nk - 1):
+                continue
+            i, j = _parity_rows(n, istart, js, n - 1)
+            yield i, j, np.full(i.size, k, dtype=np.int64)
+
+
+def redblack_tiled(n: int, ti: int, tj: int,
+                   nk: int | None = None) -> Iterator[Chunk]:
+    """Figure 12 bottom: tiled fused red-black.
+
+    Tile loops start at 1 (``do JJ=1,N-1,TJ``); within a (JJ, II) tile
+    the KK sweep executes a skewed window: plane K = KK + d (d = 1 then
+    0) covers J in ``max(JJ+d, 2) .. min(JJ+d+TJ-1, N-1)`` and I from
+    ``IStart = II + d`` parity-adjusted by ``mod(KK+J+IStart+1, 2)``
+    (bumped 1 -> 3 to stay interior), stepping by 2 up to
+    ``min(II+d+TI-1, N-1)``.
+
+    Within a tile, all chunks for the KK sweep are concatenated into a
+    single yield — iteration counts per (KK, K) piece are tiny and the
+    per-chunk overhead would otherwise dominate simulation time. Because
+    the (J, I) pattern for a given ``d = K - KK`` depends only on the
+    parity of KK, the four templates are precomputed and stitched per KK.
+    """
+    nk = n if nk is None else nk
+    if n < 3 or nk < 3:
+        raise TraceError(f"need N, NK >= 3, got {n}, {nk}")
+    if ti < 1 or tj < 1:
+        raise TraceError(f"tile sizes must be positive: ({ti}, {tj})")
+
+    for jj in range(1, n, tj):
+        for ii in range(1, n, ti):
+            # templates[(d, kk_parity)] = (I, J) arrays
+            templates: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+            for d in (1, 0):
+                jlo = max(jj + d, 2)
+                jhi = min(jj + d + tj - 1, n - 1)
+                ihi = min(ii + d + ti - 1, n - 1)
+                base = ii + d
+                if jlo > jhi or base > ihi:
+                    empty = np.empty(0, dtype=np.int64)
+                    templates[(d, 0)] = templates[(d, 1)] = (empty, empty)
+                    continue
+                js = np.arange(jlo, jhi + 1, dtype=np.int64)
+                for par in (0, 1):
+                    istart = base + (par + js + base + 1) % 2
+                    istart = np.where(istart == 1, 3, istart)
+                    i, j = _parity_rows(n, istart.astype(np.int64), js, ihi)
+                    templates[(d, par)] = (i, j)
+
+            pieces_i: list[np.ndarray] = []
+            pieces_j: list[np.ndarray] = []
+            pieces_k: list[np.ndarray] = []
+            for kk in range(1, nk):
+                par = kk % 2
+                for d in (1, 0):
+                    k = kk + d
+                    if not (2 <= k <= nk - 1):
+                        continue
+                    i, j = templates[(d, par)]
+                    if i.size == 0:
+                        continue
+                    pieces_i.append(i)
+                    pieces_j.append(j)
+                    pieces_k.append(np.full(i.size, k, dtype=np.int64))
+            if pieces_i:
+                yield (np.concatenate(pieces_i), np.concatenate(pieces_j),
+                       np.concatenate(pieces_k))

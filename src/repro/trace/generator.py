@@ -1,0 +1,80 @@
+"""Turn iteration chunks plus reference lists into address traces.
+
+For each iteration the kernel issues its references in program order;
+for a chunk of ``n`` iterations and ``R`` references the interleaved
+trace is the row-major flattening of an ``(n, R)`` address matrix — all
+vectorized, no Python-level per-iteration work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.layout.array import ArraySpec
+
+__all__ = ["Ref", "trace_chunks", "kernel_refs", "count_refs"]
+
+
+@dataclass(frozen=True)
+class Ref:
+    """One static reference: array + constant subscript offsets.
+
+    Offsets are relative to the (1-based) iteration coordinates; the
+    generator converts to the 0-based :class:`ArraySpec` origin.
+    """
+
+    array: ArraySpec
+    oi: int = 0
+    oj: int = 0
+    ok: int = 0
+    is_write: bool = False
+
+
+def kernel_refs(specs: dict[str, ArraySpec],
+                reads: Iterable[tuple[str, int, int, int]],
+                writes: Iterable[tuple[str, int, int, int]] = ()) -> list[Ref]:
+    """Build a program-ordered reference list: reads first, then writes."""
+    refs = [Ref(specs[a], oi, oj, ok) for a, oi, oj, ok in reads]
+    refs += [Ref(specs[a], oi, oj, ok, is_write=True)
+             for a, oi, oj, ok in writes]
+    if not refs:
+        raise TraceError("kernel has no references")
+    return refs
+
+
+def count_refs(refs: list[Ref]) -> tuple[int, int]:
+    """(reads, writes) per iteration."""
+    w = sum(1 for r in refs if r.is_write)
+    return len(refs) - w, w
+
+
+def trace_chunks(iter_chunks, refs: list[Ref],
+                 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (byte_addresses, is_write) chunks in program order.
+
+    ``iter_chunks`` yields 1-based ``(I, J, K)`` coordinate arrays (see
+    :mod:`repro.trace.enumerators`); each output chunk interleaves the
+    per-iteration references.
+    """
+    if not refs:
+        raise TraceError("no references")
+    nrefs = len(refs)
+    wmask_row = np.array([r.is_write for r in refs], dtype=bool)
+
+    for i, j, k in iter_chunks:
+        n = i.size
+        if n == 0:
+            continue
+        addrs = np.empty((n, nrefs), dtype=np.int64)
+        for col, ref in enumerate(refs):
+            spec = ref.array
+            # 1-based coordinate + offset - 1 => 0-based subscript.
+            addrs[:, col] = spec.addr_array(i + (ref.oi - 1),
+                                            j + (ref.oj - 1),
+                                            k + (ref.ok - 1))
+            addrs[:, col] *= spec.elem_bytes
+        yield addrs.reshape(-1), np.tile(wmask_row, n)

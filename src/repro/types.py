@@ -1,0 +1,143 @@
+"""Shared value types used across the :mod:`repro` package.
+
+These are small immutable dataclasses exchanged between the tile-selection
+algorithms (:mod:`repro.core`), the layout machinery (:mod:`repro.layout`)
+and the experiment harness (:mod:`repro.experiments`).
+
+Conventions
+-----------
+Dimensions follow the paper's Fortran (column-major) view of a
+``DI x DJ x DK`` array:
+
+* ``DI`` — size of the contiguous (innermost, fastest-varying) dimension,
+  i.e. the column length;
+* ``DJ`` — the middle dimension (number of columns per plane);
+* ``DK`` — the outer dimension (number of planes).
+
+Tile sizes use the same orientation: ``TI`` tiles the I loop (contiguous
+direction), ``TJ`` the J loop, and ``TK`` is the *array tile depth* — the
+number of array planes simultaneously held in cache, not a tiled loop.
+All sizes are measured in array **elements**, never bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TileSize",
+    "ArrayTile",
+    "PadResult",
+    "SelectionResult",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TileSize:
+    """An iteration-tile size ``(TI, TJ)`` for the inner two loops.
+
+    ``ti`` and ``tj`` are the numbers of I and J iterations per tile.
+    """
+
+    ti: int
+    tj: int
+
+    def __post_init__(self) -> None:
+        if self.ti < 1 or self.tj < 1:
+            raise ValueError(f"tile dimensions must be positive, got {self}")
+
+    @property
+    def iterations(self) -> int:
+        """Number of iteration points per (I, J) tile slab."""
+        return self.ti * self.tj
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.ti, self.tj)
+
+
+@dataclass(frozen=True, slots=True)
+class ArrayTile:
+    """A (possibly untrimmed) array tile ``TI x TJ x TK`` (Section 2.2).
+
+    The array tile is the region of the *data* space that must remain in
+    cache while a ``TI' x TJ' x (N-2)`` block of iterations executes; its
+    depth ``tk`` counts array planes.
+    """
+
+    ti: int
+    tj: int
+    tk: int
+
+    def __post_init__(self) -> None:
+        if self.ti < 1 or self.tj < 1 or self.tk < 1:
+            raise ValueError(f"array tile dimensions must be positive, got {self}")
+
+    @property
+    def footprint(self) -> int:
+        """Number of elements the array tile occupies in cache."""
+        return self.ti * self.tj * self.tk
+
+    def trimmed(self, mi: int, mj: int) -> TileSize | None:
+        """Trim by the stencil margins to obtain the iteration tile.
+
+        Returns ``None`` when trimming leaves a non-positive dimension
+        (the paper models this as an infinite-cost tile).
+        """
+        ti, tj = self.ti - mi, self.tj - mj
+        if ti < 1 or tj < 1:
+            return None
+        return TileSize(ti, tj)
+
+
+@dataclass(frozen=True, slots=True)
+class PadResult:
+    """Outcome of a padding heuristic (GcdPad / Pad, Section 3.4).
+
+    ``tile`` is the trimmed iteration tile; ``di_p``/``dj_p`` are the
+    padded lower array dimensions. ``di``/``dj`` record the originals so
+    overhead can be computed without outside context.
+    """
+
+    tile: TileSize
+    di: int
+    dj: int
+    di_p: int
+    dj_p: int
+
+    def __post_init__(self) -> None:
+        if self.di_p < self.di or self.dj_p < self.dj:
+            raise ValueError(f"padded dims must not shrink: {self}")
+
+    @property
+    def pad_i(self) -> int:
+        return self.di_p - self.di
+
+    @property
+    def pad_j(self) -> int:
+        return self.dj_p - self.dj
+
+    def memory_overhead(self, dk: int) -> float:
+        """Fractional memory increase for a ``DI x DJ x DK`` array."""
+        base = self.di * self.dj * dk
+        padded = self.di_p * self.dj_p * dk
+        return (padded - base) / base
+
+
+@dataclass(frozen=True, slots=True)
+class SelectionResult:
+    """Uniform result of any tile-selection strategy.
+
+    ``tile`` may be ``None`` for strategies that decline to tile (e.g.
+    GcdPadNT pads without tiling, Orig does nothing).
+    """
+
+    strategy: str
+    tile: TileSize | None
+    di_p: int
+    dj_p: int
+    cost: float = field(default=float("inf"))
+    array_tile: ArrayTile | None = None
+
+    @property
+    def tiled(self) -> bool:
+        return self.tile is not None

@@ -1,0 +1,16 @@
+"""Shared helpers importable from test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def collect_trace(chunks) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize a chunked (addresses, is_write) trace."""
+    addrs, writes = [], []
+    for a, w in chunks:
+        addrs.append(np.asarray(a))
+        writes.append(np.asarray(w))
+    if not addrs:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+    return np.concatenate(addrs), np.concatenate(writes)

@@ -1,0 +1,97 @@
+"""Tests for the related-work baselines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    copy_break_even,
+    copying_profitable,
+    ecs,
+    lrw,
+    wolf_lam,
+)
+from repro.baselines.copying import copy_overhead_fraction
+from repro.core.conflict import occupancy_conflicts
+from repro.core.euc3d import euc3d
+from repro.core.cost import cost_tile
+
+
+class TestLRW:
+    @given(di=st.integers(10, 500), dj=st.integers(10, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_square_and_nonconflicting(self, di, dj):
+        r = lrw(2048, di, dj, atd=3)
+        arr = r.array_tile
+        if arr is not None:
+            assert arr.ti == arr.tj
+            assert occupancy_conflicts(2048, di, di * dj, arr.ti, arr.tj,
+                                       arr.tk) == 0
+
+    @given(di=st.integers(10, 500), dj=st.integers(10, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_never_beats_euc3d(self, di, dj):
+        """Euc3D searches rectangles, LRW only squares: Euc3D's cost wins."""
+        r_lrw = lrw(2048, di, dj, atd=3)
+        r_euc = euc3d(2048, di, dj, atd=3)
+        assert cost_tile(r_euc.tile) <= cost_tile(r_lrw.tile) + 1e-12
+
+    def test_pathological_fallback(self):
+        r = lrw(2048, 256, 256, atd=3)  # planes alias -> only 1x1 possible
+        assert r.tile.as_tuple() == (1, 1)
+
+
+class TestECS:
+    def test_targets_fraction(self):
+        r = ecs(2048, 300, 300, atd=3, fraction=0.10)
+        assert r.array_tile.footprint <= 2048 * 0.10 + 3 * 8  # rounding slack
+
+    def test_smaller_than_full_cache_tile(self):
+        from repro.core.tile_square import square_tile
+
+        full = square_tile(2048, 300, 300)
+        small = ecs(2048, 300, 300)
+        assert small.tile.iterations < full.tile.iterations
+
+    def test_fraction_validation(self):
+        with pytest.raises(Exception):
+            ecs(2048, 100, 100, fraction=0.0)
+
+
+class TestWolfLam:
+    def test_cubical(self):
+        r = wolf_lam(2048, 300, 300, atd=3)
+        arr = r.array_tile
+        assert arr.ti == arr.tj
+        assert arr.ti * arr.tj * (arr.ti + 2) <= 2048
+
+    def test_k_tiling_extent_recorded(self):
+        r = wolf_lam(2048, 300, 300)
+        assert r.array_tile.tk >= 1
+
+
+class TestCopying:
+    def test_overhead_fraction(self):
+        assert copy_overhead_fraction(6) == pytest.approx(2 / 6)
+        assert copy_overhead_fraction(27) == pytest.approx(2 / 27)
+
+    def test_stencils_never_profit(self):
+        """Section 3.1: copying cannot amortize for stencil reuse counts."""
+        for reuse in (4, 6, 7):
+            assert not copying_profitable(reuse, miss_penalty=10.0,
+                                          conflict_fraction=0.05)
+
+    def test_linear_algebra_profits(self):
+        """O(N) reuse (e.g. N=512 matmul) clears the break-even easily."""
+        assert copying_profitable(512, miss_penalty=10.0,
+                                  conflict_fraction=0.05)
+
+    def test_break_even_decreases_with_penalty(self):
+        assert copy_break_even(60.0) < copy_break_even(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            copy_break_even(0.0)
+        with pytest.raises(ValueError):
+            copy_overhead_fraction(0)
+        with pytest.raises(ValueError):
+            copy_break_even(10.0, conflict_fraction=2.0)

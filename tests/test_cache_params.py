@@ -1,0 +1,57 @@
+"""Tests for cache geometry parameters."""
+
+import numpy as np
+import pytest
+
+from repro.cache.params import CacheParams, ULTRASPARC2_L1, ULTRASPARC2_L2
+from repro.errors import CacheGeometryError
+
+
+class TestCacheParams:
+    def test_paper_l1(self):
+        assert ULTRASPARC2_L1.size_bytes == 16384
+        assert ULTRASPARC2_L1.capacity_elements(8) == 2048  # the paper's C_s
+        assert ULTRASPARC2_L1.line_elements(8) == 4
+        assert ULTRASPARC2_L1.num_sets == 512
+        assert ULTRASPARC2_L1.is_direct_mapped
+
+    def test_paper_l2(self):
+        assert ULTRASPARC2_L2.capacity_elements(8) == 262144
+        assert ULTRASPARC2_L2.num_lines == 32768
+
+    @pytest.mark.parametrize("size", [1000, 0, 48])
+    def test_rejects_non_pow2_size(self, size):
+        with pytest.raises(CacheGeometryError):
+            CacheParams(size_bytes=size)
+
+    def test_rejects_bad_line(self):
+        with pytest.raises(CacheGeometryError):
+            CacheParams(size_bytes=1024, line_bytes=48)
+        with pytest.raises(CacheGeometryError):
+            CacheParams(size_bytes=64, line_bytes=128)
+
+    def test_rejects_bad_assoc(self):
+        with pytest.raises(CacheGeometryError):
+            CacheParams(size_bytes=1024, line_bytes=32, assoc=3)
+
+    def test_fully_associative(self):
+        p = CacheParams(size_bytes=1024, line_bytes=32, assoc=32)
+        assert p.is_fully_associative
+        assert p.num_sets == 1
+
+    def test_line_and_set_math(self):
+        p = CacheParams(size_bytes=1024, line_bytes=32)
+        addrs = np.array([0, 31, 32, 1024, 1055])
+        lines = p.line_of(addrs)
+        assert lines.tolist() == [0, 0, 1, 32, 32]
+        assert p.set_of(lines).tolist() == [0, 0, 1, 0, 0]
+
+    def test_capacity_requires_divisibility(self):
+        p = CacheParams(size_bytes=1024, line_bytes=32)
+        with pytest.raises(CacheGeometryError):
+            p.capacity_elements(3)
+
+    def test_scaled(self):
+        p = ULTRASPARC2_L1.scaled(4)
+        assert p.size_bytes == 4 * ULTRASPARC2_L1.size_bytes
+        assert p.line_bytes == ULTRASPARC2_L1.line_bytes

@@ -1,0 +1,67 @@
+"""Tests for reuse-distance analysis."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.params import CacheParams
+from repro.cache.reuse import (
+    miss_curve,
+    misses_for_capacity,
+    reuse_distances,
+    working_set_size,
+)
+from repro.cache.set_assoc import SetAssociativeCache
+
+
+class TestReuseDistances:
+    def test_simple_sequence(self):
+        # a b a -> a cold, b cold, a at distance 1 (only b in between).
+        d = reuse_distances(np.array([10, 20, 10]))
+        assert d.tolist() == [-1, -1, 1]
+
+    def test_immediate_reuse(self):
+        d = reuse_distances(np.array([5, 5, 5]))
+        assert d.tolist() == [-1, 0, 0]
+
+    def test_classic_example(self):
+        # a b c b a: a's second access sees {b, c} distinct -> 2.
+        d = reuse_distances(np.array([1, 2, 3, 2, 1]))
+        assert d.tolist() == [-1, -1, -1, 1, 2]
+
+    def test_empty(self):
+        assert reuse_distances(np.array([], dtype=np.int64)).size == 0
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_fully_associative_lru(self, seq):
+        """misses_for_capacity(c) == exact LRU simulation at capacity c."""
+        lines = np.asarray(seq, dtype=np.int64)
+        d = reuse_distances(lines)
+        for capacity in (1, 2, 4, 8):
+            p = CacheParams(size_bytes=16 * capacity, line_bytes=16,
+                            assoc=capacity)
+            fa = SetAssociativeCache(p)
+            miss = fa.access(lines * 16)
+            assert misses_for_capacity(d, capacity) == int(miss.sum())
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_miss_curve_matches_pointwise(self, seq):
+        d = reuse_distances(np.asarray(seq))
+        caps = np.array([1, 2, 3, 5, 8, 13])
+        curve = miss_curve(d, caps)
+        assert curve.tolist() == [misses_for_capacity(d, c) for c in caps]
+
+    def test_miss_curve_monotone(self):
+        d = reuse_distances(np.arange(50) % 7)
+        caps = np.arange(1, 10)
+        curve = miss_curve(d, caps)
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+
+class TestWorkingSet:
+    def test_counts_distinct(self):
+        assert working_set_size(np.array([1, 1, 2, 3, 3, 3])) == 3
+
+    def test_empty(self):
+        assert working_set_size(np.array([])) == 0

@@ -1,0 +1,134 @@
+"""Tests for the direct-mapped and set-associative cache simulators.
+
+The central property: the vectorized direct-mapped simulator agrees
+access-by-access with the scalar LRU model at associativity 1, for
+arbitrary traces and arbitrary chunking.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.params import CacheParams
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.errors import CacheGeometryError
+
+
+def small_params(assoc: int = 1) -> CacheParams:
+    return CacheParams(size_bytes=512, line_bytes=16, assoc=assoc)
+
+
+class TestDirectMappedBasics:
+    def test_cold_miss_then_hit(self):
+        dm = DirectMappedCache(small_params())
+        miss = dm.access(np.array([0, 0, 8, 16, 0]))
+        # line size 16: addr 0 and 8 share a line; 16 is the next line.
+        assert miss.tolist() == [True, False, False, True, False]
+        assert dm.stats.accesses == 5 and dm.stats.misses == 2
+
+    def test_conflict_eviction(self):
+        dm = DirectMappedCache(small_params())
+        # 512-byte cache, 32 sets of 16B: addresses 0 and 512 collide.
+        miss = dm.access(np.array([0, 512, 0, 512]))
+        assert miss.tolist() == [True] * 4
+
+    def test_empty_chunk(self):
+        dm = DirectMappedCache(small_params())
+        assert dm.access(np.array([], dtype=np.int64)).size == 0
+
+    def test_reset(self):
+        dm = DirectMappedCache(small_params())
+        dm.access(np.array([0, 16, 32]))
+        dm.reset()
+        assert dm.stats.accesses == 0
+        assert dm.access(np.array([0]))[0]
+
+    def test_contains_and_resident(self):
+        dm = DirectMappedCache(small_params())
+        dm.access(np.array([0, 64]))
+        assert dm.contains(0) and dm.contains(15) and dm.contains(64)
+        assert not dm.contains(16)
+        assert dm.resident_lines().tolist() == [0, 4]
+
+    def test_rejects_associative_params(self):
+        with pytest.raises(CacheGeometryError):
+            DirectMappedCache(small_params(assoc=2))
+
+
+class TestSetAssociativeBasics:
+    def test_lru_within_set(self):
+        # 2 ways, 16 sets of 16B: 0, 256, 512 all map to set 0.
+        sa = SetAssociativeCache(small_params(assoc=2))
+        miss = sa.access(np.array([0, 256, 0, 512, 256, 0]))
+        # 0 miss, 256 miss, 0 hit (LRU now 256,0), 512 evicts 256,
+        # 256 miss (evicts 0), 0 miss.
+        assert miss.tolist() == [True, True, False, True, True, True]
+
+    def test_fully_associative_is_lru(self):
+        p = CacheParams(size_bytes=64, line_bytes=16, assoc=4)
+        fa = SetAssociativeCache(p)
+        trace = np.array([0, 16, 32, 48, 0, 64, 16])
+        miss = fa.access(trace)
+        # 64 evicts LRU line 16 -> final access misses.
+        assert miss.tolist() == [True, True, True, True, False, True, True]
+
+    def test_reset(self):
+        sa = SetAssociativeCache(small_params(assoc=2))
+        sa.access(np.array([0, 16]))
+        sa.reset()
+        assert sa.stats.accesses == 0
+        assert sa.resident_lines().size == 0
+
+
+@st.composite
+def trace_and_geometry(draw):
+    size = draw(st.sampled_from([256, 512, 1024]))
+    line = draw(st.sampled_from([8, 16, 32]))
+    n = draw(st.integers(1, 400))
+    # Bias toward conflict-heavy address streams.
+    span = draw(st.sampled_from([size, 2 * size, 8 * size]))
+    addrs = draw(st.lists(st.integers(0, span - 1), min_size=n, max_size=n))
+    return size, line, np.asarray(addrs, dtype=np.int64)
+
+
+class TestVectorizedAgainstScalar:
+    @given(data=trace_and_geometry())
+    @settings(max_examples=60, deadline=None)
+    def test_direct_mapped_equivalence(self, data):
+        size, line, addrs = data
+        p = CacheParams(size_bytes=size, line_bytes=line, assoc=1)
+        dm = DirectMappedCache(p)
+        sa = SetAssociativeCache(p)
+        assert np.array_equal(dm.access(addrs), sa.access(addrs))
+
+    @given(data=trace_and_geometry(), nchunks=st.integers(1, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_chunking_invariance(self, data, nchunks):
+        size, line, addrs = data
+        p = CacheParams(size_bytes=size, line_bytes=line, assoc=1)
+        whole = DirectMappedCache(p)
+        ref = whole.access(addrs)
+        chunked = DirectMappedCache(p)
+        parts = [chunked.access(c) for c in np.array_split(addrs, nchunks)]
+        assert np.array_equal(np.concatenate(parts), ref)
+        assert chunked.stats.misses == whole.stats.misses
+
+    @given(data=trace_and_geometry())
+    @settings(max_examples=30, deadline=None)
+    def test_assoc1_equals_direct_in_stats(self, data):
+        size, line, addrs = data
+        p = CacheParams(size_bytes=size, line_bytes=line, assoc=1)
+        dm = DirectMappedCache(p)
+        sa = SetAssociativeCache(p)
+        dm.access(addrs)
+        sa.access(addrs)
+        assert dm.stats.misses == sa.stats.misses
+
+    def test_paper_scale_spot_check(self, rng):
+        from repro.cache.params import ULTRASPARC2_L1
+
+        addrs = rng.integers(0, 1 << 20, size=30000) * 8
+        dm = DirectMappedCache(ULTRASPARC2_L1)
+        sa = SetAssociativeCache(ULTRASPARC2_L1)
+        assert np.array_equal(dm.access(addrs), sa.access(addrs))

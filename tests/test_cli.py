@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_select_args(self):
+        a = build_parser().parse_args(
+            ["select", "--n", "300", "--strategy", "Pad"])
+        assert a.command == "select" and a.n == 300 and a.strategy == "Pad"
+
+    def test_csv_flags(self):
+        a = build_parser().parse_args(["table3", "--csv", "out.csv"])
+        assert a.csv == "out.csv"
+        a = build_parser().parse_args(
+            ["figures", "--kernel", "RESID", "--csv", "f.csv"])
+        assert a.kernel == "RESID" and a.csv == "f.csv"
+
+    def test_full_flag(self):
+        a = build_parser().parse_args(["table3", "--full"])
+        assert a.full
+
+
+class TestCommands:
+    def test_select(self, capsys):
+        assert main(["select", "--n", "300", "--strategy", "GcdPad"]) == 0
+        out = capsys.readouterr().out
+        assert "30 x 14" in out and "352 x 304" in out
+
+    def test_select_untiled(self, capsys):
+        main(["select", "--n", "300", "--strategy", "Orig"])
+        assert "(untiled)" in capsys.readouterr().out
+
+    def test_select_small_cache(self, capsys):
+        main(["select", "--n", "40", "--cs", "256"])
+        assert "strategy : GcdPad" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--kernel", "JACOBI",
+                     "--strategy", "Tile", "--n", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "L1 miss rate" in out and "MFlops" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "(22, 13)" in out
+
+    def test_fig22(self, capsys):
+        assert main(["fig22"]) == 0
+        assert "GcdPad" in capsys.readouterr().out
+
+    def test_section1(self, capsys):
+        assert main(["section1"]) == 0
+        out = capsys.readouterr().out
+        assert "1024" in out and "362" in out
+
+    @pytest.mark.slow
+    def test_mgrid(self, capsys):
+        assert main(["mgrid", "--level", "5"]) == 0
+        assert "improvement" in capsys.readouterr().out

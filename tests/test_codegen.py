@@ -1,0 +1,63 @@
+"""Tests for Fortran-style code generation."""
+
+from repro.ir.codegen import emit_expr, emit_fortran
+from repro.ir.expr import Mod2Guard, var
+from repro.ir.loops import Loop, LoopNest, Statement
+from repro.ir.refs import ArrayRef
+from repro.ir.stencil import jacobi3d_nest, resid_nest
+from repro.ir.transforms import tile
+
+
+class TestEmitExpr:
+    def test_plain(self):
+        assert emit_expr(var("I") + 1) == "I + 1"
+        assert emit_expr(var("I") - 1) == "I - 1"
+        assert emit_expr(var("N") * 2 - 3) == "2*N - 3"
+        assert emit_expr(var("I") - var("I")) == "0"
+
+
+class TestEmitFortran:
+    def test_figure3(self):
+        src = emit_fortran(jacobi3d_nest())
+        assert "do K = 2, N - 1" in src
+        assert "B(I - 1, J, K)" in src
+        assert src.count("end do") == 3
+
+    def test_figure6_structure(self):
+        """Tiling Figure 3 and emitting gives Figure 6's loop text."""
+        nest = tile(jacobi3d_nest(), {"J": 13, "I": 22},
+                    tile_order=["J", "I"])
+        src = emit_fortran(nest)
+        assert "do JJ = 2, N - 1, 13" in src
+        assert "do II = 2, N - 1, 22" in src
+        assert "do J = JJ, min(JJ + 12, N - 1)" in src
+        assert "do I = II, min(II + 21, N - 1)" in src
+        # K stays untiled, between tile loops and intra-tile loops.
+        assert src.index("do II") < src.index("do K") < src.index("do J =")
+
+    def test_resid_emits_27_reads(self):
+        src = emit_fortran(resid_nest())
+        assert src.count("U(") == 27
+        assert "R(I1, I2, I3) = f(" in src
+
+    def test_guards_become_if_blocks(self):
+        st = Statement(
+            refs=(ArrayRef.make("A", var("I"), is_write=True),),
+            guards=(Mod2Guard(var("I") + var("K"), 0),))
+        nest = LoopNest(loops=(Loop.make("K", 1, 4), Loop.make("I", 1, 4)),
+                        body=(st,), name="guarded")
+        src = emit_fortran(nest)
+        assert "if (mod(I + K, 2) .eq. 0) then" in src
+        assert "end if" in src
+
+    def test_read_only_statement(self):
+        st = Statement(refs=(ArrayRef.make("A", var("I")),))
+        nest = LoopNest(loops=(Loop.make("I", 1, 4),), body=(st,))
+        assert "call touch(A(I))" in emit_fortran(nest)
+
+    def test_negative_step(self):
+        nest = LoopNest(
+            loops=(Loop.make("K", var("KK") + 1, var("KK"), step=-1),),
+            body=(Statement(refs=(ArrayRef.make("A", var("K"),
+                                                is_write=True),)),))
+        assert "do K = KK + 1, KK, -1" in emit_fortran(nest)

@@ -1,0 +1,94 @@
+"""Tests for exact self-interference analysis.
+
+The key property: :func:`is_nonconflicting` agrees with brute-force
+cache-occupancy counting for arbitrary geometries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conflict import (
+    is_nonconflicting,
+    max_noconflict_ti,
+    min_circular_gap,
+    occupancy_conflicts,
+    tile_offsets,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTileOffsets:
+    def test_2d_case(self):
+        offs = tile_offsets(cs=2048, di=200, plane=40000, tj=3, tk=1)
+        assert sorted(offs.tolist()) == [0, 200, 400]
+
+    def test_3d_case(self):
+        offs = tile_offsets(cs=2048, di=200, plane=40000, tj=2, tk=2)
+        # plane stride mod 2048 = 40000 - 19*2048 = 1088
+        assert sorted(offs.tolist()) == [0, 200, 1088, 1288]
+
+    def test_duplicate_offsets_possible(self):
+        # di divides cs -> columns alias.
+        offs = tile_offsets(cs=256, di=128, plane=1, tj=3, tk=1)
+        assert sorted(offs.tolist()) == [0, 0, 128]
+
+
+class TestMinCircularGap:
+    def test_single_offset(self):
+        assert min_circular_gap(np.array([5]), 100) == 100
+
+    def test_wraparound_gap(self):
+        # offsets 10 and 90 in a 100-cache: gaps 80 and 20.
+        assert min_circular_gap(np.array([10, 90]), 100) == 20
+
+    def test_duplicates_give_zero(self):
+        assert min_circular_gap(np.array([7, 7, 50]), 100) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            min_circular_gap(np.array([], dtype=np.int64), 100)
+
+
+class TestPaperValues:
+    """Spot checks straight out of the paper's Table 1."""
+
+    @pytest.mark.parametrize("tk,tj,expected_ti", [
+        (1, 10, 200), (1, 41, 48),
+        (2, 1, 960), (2, 4, 200), (2, 5, 160), (2, 15, 40),
+        (3, 5, 72), (3, 11, 40), (3, 15, 24),
+        (4, 4, 72), (4, 15, 16), (4, 56, 8),
+    ])
+    def test_table1_gaps(self, tk, tj, expected_ti):
+        assert max_noconflict_ti(2048, 200, 40000, tj, tk) == expected_ti
+
+
+class TestAgainstBruteForce:
+    @given(cs=st.sampled_from([64, 128, 256, 512]),
+           di=st.integers(3, 300),
+           dj=st.integers(3, 300),
+           ti=st.integers(1, 64),
+           tj=st.integers(1, 12),
+           tk=st.integers(1, 4))
+    @settings(max_examples=150, deadline=None)
+    def test_predicate_matches_occupancy(self, cs, di, dj, ti, tj, tk):
+        plane = di * dj
+        clean = is_nonconflicting(cs, di, plane, ti, tj, tk)
+        conflicts = occupancy_conflicts(cs, di, plane, ti, tj, tk)
+        assert clean == (conflicts == 0), (
+            f"cs={cs} di={di} dj={dj} tile=({ti},{tj},{tk}): "
+            f"predicate {clean}, brute-force conflicts {conflicts}")
+
+    @given(cs=st.sampled_from([128, 256]),
+           di=st.integers(3, 200),
+           tj=st.integers(1, 10),
+           tk=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_max_ti_is_maximal(self, cs, di, tj, tk):
+        """max_noconflict_ti is achievable and +1 breaks it."""
+        plane = di * di
+        g = max_noconflict_ti(cs, di, plane, tj, tk)
+        if g >= 1:
+            assert occupancy_conflicts(cs, di, plane, g, tj, tk) == 0
+        if 1 <= g < cs:
+            assert occupancy_conflicts(cs, di, plane, g + 1, tj, tk) > 0

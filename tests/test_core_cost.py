@@ -1,0 +1,55 @@
+"""Tests for the Section 2.3 cost model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost import best_tile, cost, cost_tile, perfect_square_tile
+from repro.types import TileSize
+
+
+class TestCost:
+    def test_paper_example(self):
+        # (TI+2)(TJ+2)/(TI*TJ) for the paper's selected (22, 13).
+        assert cost(22, 13) == pytest.approx(24 * 15 / (22 * 13))
+
+    def test_degenerate_is_infinite(self):
+        assert cost(0, 5) == math.inf
+        assert cost(5, -1) == math.inf
+        assert cost_tile(None) == math.inf
+
+    def test_custom_margins(self):
+        assert cost(10, 10, mi=4, mj=0) == pytest.approx(14 * 10 / 100)
+
+    @given(area=st.integers(4, 4096))
+    @settings(max_examples=60, deadline=None)
+    def test_square_minimizes_for_fixed_area(self, area):
+        """Among all factorizations of `area`, the squarest tile wins."""
+        best = perfect_square_tile(area)
+        for ti in range(1, area + 1):
+            if area % ti:
+                continue
+            tj = area // ti
+            assert cost(best.ti, best.tj) <= cost(ti, tj) + 1e-12
+
+    @given(ti=st.integers(1, 100), tj=st.integers(1, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_each_dimension(self, ti, tj):
+        """Growing a tile never increases the per-iteration cost."""
+        assert cost(ti + 1, tj) <= cost(ti, tj)
+        assert cost(ti, tj + 1) <= cost(ti, tj)
+
+    def test_best_tile(self):
+        tiles = [TileSize(1, 1), TileSize(22, 13), None, TileSize(4, 100)]
+        tile, c = best_tile(tiles)
+        assert tile == TileSize(22, 13)
+        assert c == pytest.approx(cost(22, 13))
+
+    def test_best_tile_all_none(self):
+        tile, c = best_tile([None, None])
+        assert tile is None and c == math.inf
+
+    def test_perfect_square_rejects_bad_area(self):
+        with pytest.raises(ValueError):
+            perfect_square_tile(0)

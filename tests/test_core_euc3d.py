@@ -1,0 +1,98 @@
+"""Tests for Euc3D: Table 1 reproduction and frontier properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conflict import occupancy_conflicts
+from repro.core.euc3d import enumerate_array_tiles, euc3d, noconflict_frontier
+from repro.core.euclid import gap_function, quotient_sequence, remainder_sequence
+from repro.types import TileSize
+
+
+class TestTable1:
+    """The paper's Table 1, reproduced exactly (width capped at DJ=200)."""
+
+    EXPECTED = {
+        1: [(2048, 1), (200, 10), (48, 41), (8, 200)],
+        2: [(960, 1), (200, 4), (160, 5), (40, 15), (8, 56)],
+        3: [(128, 1), (72, 5), (40, 11), (24, 15), (8, 56)],
+        4: [(128, 1), (72, 4), (32, 6), (16, 15), (8, 56)],
+    }
+
+    @pytest.mark.parametrize("tk", [1, 2, 3, 4])
+    def test_frontier_rows(self, tk):
+        tiles = noconflict_frontier(2048, 200, 200, tk)
+        assert [(t.ti, t.tj) for t in tiles] == self.EXPECTED[tk]
+
+    def test_enumerate_concatenates(self):
+        tiles = enumerate_array_tiles(2048, 200, 200, range(1, 5))
+        assert len(tiles) == sum(len(v) for v in self.EXPECTED.values())
+
+    def test_selection_matches_paper(self):
+        """The paper: Euc3D picks (22, 13) from array tile TK=3 (24, 15)."""
+        r = euc3d(2048, 200, 200, atd=3)
+        assert r.tile == TileSize(22, 13)
+        assert (r.array_tile.ti, r.array_tile.tj, r.array_tile.tk) == (24, 15, 3)
+
+    def test_pathological_341(self):
+        """The paper: for 341x341xM the best available tile is (110, 4)."""
+        r = euc3d(2048, 341, 341, atd=3)
+        assert r.tile == TileSize(110, 4)
+
+
+class TestEuclidMachinery:
+    def test_remainders(self):
+        assert remainder_sequence(2048, 200) == [2048, 200, 48, 8, 0]
+
+    def test_quotients(self):
+        assert quotient_sequence(2048, 200) == [10, 4, 6]
+
+    def test_remainders_validate(self):
+        with pytest.raises(ValueError):
+            remainder_sequence(0, 5)
+
+    def test_gap_function_monotone(self):
+        f = gap_function(2048, 200, 40000, tk=3)
+        vals = [f(tj) for tj in range(1, 40)]
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+
+class TestFrontierProperties:
+    @given(cs=st.sampled_from([128, 256, 512, 2048]),
+           di=st.integers(3, 400), dj=st.integers(3, 400),
+           tk=st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_frontier_tiles_are_nonconflicting(self, cs, di, dj, tk):
+        plane = di * dj
+        for t in noconflict_frontier(cs, di, dj, tk):
+            assert occupancy_conflicts(cs, di, plane, t.ti, t.tj, t.tk) == 0
+
+    @given(cs=st.sampled_from([256, 512]),
+           di=st.integers(3, 300), dj=st.integers(3, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_frontier_is_pareto(self, cs, di, dj):
+        tiles = noconflict_frontier(cs, di, dj, tk=2)
+        # Strictly decreasing TI with strictly increasing TJ.
+        tis = [t.ti for t in tiles]
+        tjs = [t.tj for t in tiles]
+        assert tis == sorted(tis, reverse=True) and len(set(tis)) == len(tis)
+        assert tjs == sorted(tjs) and len(set(tjs)) == len(tjs)
+
+    @given(cs=st.sampled_from([256, 512, 2048]),
+           di=st.integers(3, 300), dj=st.integers(3, 300),
+           atd=st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_selected_tile_is_valid(self, cs, di, dj, atd):
+        r = euc3d(cs, di, dj, atd=atd)
+        assert r.tile is not None
+        assert 1 <= r.tile.ti and 1 <= r.tile.tj
+        if r.array_tile is not None:
+            plane = di * dj
+            assert occupancy_conflicts(cs, di, plane, r.array_tile.ti,
+                                       r.array_tile.tj, r.array_tile.tk) == 0
+
+    def test_fallback_when_planes_alias(self):
+        """N dividing C_s aliases all planes: Euc3D falls back to (1,1)."""
+        r = euc3d(2048, 256, 256, atd=3)
+        assert r.tile == TileSize(1, 1)
+        assert r.array_tile is None

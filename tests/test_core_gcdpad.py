@@ -1,0 +1,92 @@
+"""Tests for GcdPad (Figure 10): postconditions and paper examples."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conflict import occupancy_conflicts
+from repro.core.gcdpad import gcdpad, gcdpad_array_tile, pad_to_odd_multiple
+from repro.errors import ConfigurationError
+
+
+class TestArrayTileChoice:
+    def test_paper_example(self):
+        """C_s=2048, TK=4 -> (TI, TJ, TK) = (32, 16, 4)."""
+        t = gcdpad_array_tile(2048, tk=4)
+        assert (t.ti, t.tj, t.tk) == (32, 16, 4)
+
+    def test_volume_equals_cache(self):
+        for cs in (512, 1024, 2048, 4096, 8192):
+            t = gcdpad_array_tile(cs, tk=4)
+            assert t.footprint == cs
+            # power-of-two dims
+            for d in (t.ti, t.tj, t.tk):
+                assert d & (d - 1) == 0
+
+    def test_ti_at_least_sqrt(self):
+        for cs in (512, 2048, 16384):
+            t = gcdpad_array_tile(cs, tk=4)
+            assert t.ti * t.ti >= cs // 4
+            assert t.ti // 2 < math.isqrt(cs // 4) + 1
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ConfigurationError):
+            gcdpad_array_tile(1000)
+        with pytest.raises(ConfigurationError):
+            gcdpad_array_tile(2048, tk=3)
+
+
+class TestPadToOddMultiple:
+    def test_paper_intervals(self):
+        """TI=32: any DI in (224, 288] pads to 288; next interval 352."""
+        for di in (225, 250, 288):
+            assert pad_to_odd_multiple(di, 32) == 288
+        for di in (289, 300, 352):
+            assert pad_to_odd_multiple(di, 32) == 352
+
+    @given(dim=st.integers(1, 5000), t=st.sampled_from([1, 2, 4, 8, 16, 32]))
+    @settings(max_examples=100, deadline=None)
+    def test_smallest_odd_multiple(self, dim, t):
+        p = pad_to_odd_multiple(dim, t)
+        assert p >= dim
+        assert p % t == 0 and (p // t) % 2 == 1
+        # minimality: the previous odd multiple is below dim
+        assert p - 2 * t < dim
+
+    def test_validates(self):
+        with pytest.raises(ConfigurationError):
+            pad_to_odd_multiple(0, 4)
+
+
+class TestGcdPad:
+    @given(di=st.integers(3, 2000), dj=st.integers(3, 2000),
+           cs=st.sampled_from([512, 2048, 8192]))
+    @settings(max_examples=100, deadline=None)
+    def test_postconditions(self, di, dj, cs):
+        r = gcdpad(cs, di, dj)
+        arr = gcdpad_array_tile(cs, 4)
+        # The gcd conditions that guarantee non-conflict.
+        assert math.gcd(r.di_p, cs) == arr.ti
+        assert math.gcd(r.dj_p, cs) == arr.tj
+        # Bounded padding: at most 2T - 1 per dimension.
+        assert 0 <= r.pad_i <= 2 * arr.ti - 1
+        assert 0 <= r.pad_j <= 2 * arr.tj - 1
+
+    @given(di=st.integers(40, 1200), dj=st.integers(40, 1200))
+    @settings(max_examples=60, deadline=None)
+    def test_padded_array_tile_never_conflicts(self, di, dj):
+        cs = 2048
+        r = gcdpad(cs, di, dj)
+        arr = gcdpad_array_tile(cs, 4)
+        plane = r.di_p * r.dj_p
+        assert occupancy_conflicts(cs, r.di_p, plane, arr.ti, arr.tj,
+                                   arr.tk) == 0
+
+    def test_tile_is_trimmed(self):
+        r = gcdpad(2048, 300, 300)
+        assert r.tile.ti == 30 and r.tile.tj == 14  # (32-2, 16-2)
+
+    def test_small_array_clamps_tile(self):
+        r = gcdpad(2048, 10, 10)
+        assert r.tile.ti <= 8 and r.tile.tj <= 8

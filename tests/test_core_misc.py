@@ -1,0 +1,110 @@
+"""Tests for capacity analysis, square tiling, cross-interference, selector."""
+
+import pytest
+
+from repro.core.capacity import (
+    max_2d_column_len,
+    max_3d_plane_len,
+    reuse_preserved_2d,
+    reuse_preserved_3d,
+    reuse_span,
+)
+from repro.core.cross import partition_tile, tolerate
+from repro.core.selector import STRATEGIES, select
+from repro.core.tile_square import square_tile
+from repro.errors import ConfigurationError, TileSelectionError
+from repro.types import ArrayTile
+
+
+class TestCapacity:
+    """Section 1's three headline numbers."""
+
+    def test_2d_threshold_16k(self):
+        assert max_2d_column_len(2048) == 1024
+
+    def test_3d_threshold_16k(self):
+        assert max_3d_plane_len(2048) == 32
+
+    def test_3d_threshold_2m(self):
+        assert max_3d_plane_len(262144) == 362
+
+    def test_preservation_predicates(self):
+        assert reuse_preserved_2d(1024, 2048)
+        assert not reuse_preserved_2d(1025, 2048)
+        assert reuse_preserved_3d(362, 262144)
+        assert not reuse_preserved_3d(363, 262144)
+
+    def test_reuse_span(self):
+        assert reuse_span(-1, 1) == 2
+        with pytest.raises(ValueError):
+            reuse_span(1, -1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_2d_column_len(100, span=0)
+
+
+class TestSquareTile:
+    def test_cache_sized_square(self):
+        r = square_tile(2048, 300, 300, atd=3)
+        # floor(sqrt(2048/3)) = 26 -> iteration tile (24, 24).
+        assert r.tile.as_tuple() == (24, 24)
+        assert r.array_tile.footprint <= 2048
+
+    def test_clamps_to_array(self):
+        r = square_tile(2048, 10, 300, atd=3)
+        assert r.tile.ti == 8
+
+    def test_too_small_cache(self):
+        with pytest.raises(TileSelectionError):
+            square_tile(8, 100, 100, atd=3)
+
+
+class TestCross:
+    def test_tolerate_is_identity(self):
+        t = ArrayTile(24, 15, 3)
+        assert tolerate(t) is t
+
+    def test_partition_shares(self):
+        t = ArrayTile(24, 15, 3)
+        r = partition_tile(t, [27, 1])
+        assert len(r.tiles) == 2
+        assert sum(x.tj for x in r.tiles) == 15
+        assert r.tiles[0].tj > r.tiles[1].tj >= 1
+        assert r.partitions == tuple(x.footprint for x in r.tiles)
+
+    def test_partition_even(self):
+        r = partition_tile(ArrayTile(10, 10, 2), [1, 1])
+        assert [x.tj for x in r.tiles] == [5, 5]
+
+    def test_partition_validation(self):
+        with pytest.raises(TileSelectionError):
+            partition_tile(ArrayTile(4, 1, 1), [1, 1])
+        with pytest.raises(TileSelectionError):
+            partition_tile(ArrayTile(4, 4, 1), [])
+
+
+class TestSelector:
+    def test_all_registered_strategies_run(self):
+        for name in STRATEGIES:
+            r = select(name, 2048, 300, 300)
+            assert r.strategy == name
+            assert r.di_p >= 300 and r.dj_p >= 300
+
+    def test_untiled_strategies(self):
+        assert select("Orig", 2048, 100, 100).tile is None
+        assert select("GcdPadNT", 2048, 100, 100).tile is None
+
+    def test_padding_strategies_pad(self):
+        r = select("GcdPad", 2048, 300, 300)
+        assert r.di_p > 300 or r.dj_p > 300
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError, match="valid"):
+            select("Bogus", 2048, 100, 100)
+
+    def test_atd_respected(self):
+        r3 = select("Euc3D", 2048, 200, 200, atd=3)
+        r4 = select("Euc3D", 2048, 200, 200, atd=4)
+        assert r3.array_tile.tk >= 3
+        assert r4.array_tile.tk >= 4

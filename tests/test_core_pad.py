@@ -1,0 +1,61 @@
+"""Tests for Pad (Figure 11): cost and padding guarantees vs GcdPad."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conflict import occupancy_conflicts
+from repro.core.cost import cost_tile
+from repro.core.euc3d import euc3d
+from repro.core.gcdpad import gcdpad
+from repro.core.pad import pad
+
+
+class TestPadGuarantees:
+    @given(di=st.integers(34, 600), dj=st.integers(34, 600))
+    @settings(max_examples=25, deadline=None)
+    def test_never_pads_more_than_gcdpad(self, di, dj):
+        cs = 2048
+        p = pad(cs, di, dj)
+        g = gcdpad(cs, di, dj)
+        assert p.di_p <= g.di_p
+        assert p.dj_p <= g.dj_p
+
+    @given(di=st.integers(34, 600), dj=st.integers(34, 600))
+    @settings(max_examples=25, deadline=None)
+    def test_cost_at_most_gcdpad(self, di, dj):
+        cs = 2048
+        p = pad(cs, di, dj)
+        g = gcdpad(cs, di, dj)
+        assert cost_tile(p.tile) <= cost_tile(g.tile) + 1e-12
+
+    @given(di=st.integers(34, 400), dj=st.integers(34, 400))
+    @settings(max_examples=20, deadline=None)
+    def test_selected_geometry_supports_tile(self, di, dj):
+        """Euc3D on the padded dims indeed returns the chosen tile cost."""
+        cs = 2048
+        p = pad(cs, di, dj)
+        r = euc3d(cs, p.di_p, p.dj_p, atd=3)
+        assert cost_tile(r.tile) <= cost_tile(gcdpad(cs, di, dj).tile) + 1e-12
+
+    def test_zero_pad_when_dims_already_good(self):
+        """Dims whose Euc3D tile already beats Cost* take no padding."""
+        g = gcdpad(2048, 300, 300)
+        base = pad(2048, g.di_p, g.dj_p)
+        assert (base.di_p, base.dj_p) == (g.di_p, g.dj_p)
+
+    def test_paper_overhead_ordering(self):
+        """Average overhead over a size sweep: Pad < GcdPad (Fig 22)."""
+        cs = 2048
+        sizes = range(200, 401, 25)
+        g_over = sum(gcdpad(cs, n, n).memory_overhead(30) for n in sizes)
+        p_over = sum(pad(cs, n, n).memory_overhead(30) for n in sizes)
+        assert p_over < g_over
+
+    def test_nonconflicting_array_tile_on_padded_dims(self):
+        cs = 2048
+        p = pad(cs, 341, 341)
+        r = euc3d(cs, p.di_p, p.dj_p, atd=3)
+        arr = r.array_tile
+        if arr is not None:
+            plane = p.di_p * p.dj_p
+            assert occupancy_conflicts(cs, p.di_p, plane, arr.ti, arr.tj,
+                                       arr.tk) == 0

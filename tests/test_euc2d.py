@@ -1,0 +1,50 @@
+"""Tests for the 2D Euc selection."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conflict import occupancy_conflicts
+from repro.core.euc2d import euc2d, noconflict_tiles_2d
+
+
+class TestNoconflict2D:
+    def test_exact_divisor_case(self):
+        """di | cs: columns land exactly di apart, TJ up to cs/di."""
+        tiles = noconflict_tiles_2d(2048, 128)
+        pairs = {(t.ti, t.tj) for t in tiles}
+        assert (128, 16) in pairs  # 16 columns of full height
+
+    def test_paper_base_case(self):
+        """The 200-column case that feeds Table 1's TK=1 row."""
+        tiles = noconflict_tiles_2d(2048, 200, tj_max=2048)
+        assert [(t.ti, t.tj) for t in tiles][:3] == [
+            (2048, 1), (200, 10), (48, 41)]
+
+    @given(cs=st.sampled_from([256, 512, 2048]), di=st.integers(3, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_frontier_nonconflicting(self, cs, di):
+        for t in noconflict_tiles_2d(cs, di):
+            assert occupancy_conflicts(cs, di, di * di, t.ti, t.tj, 1) == 0
+
+
+class TestEuc2DSelection:
+    def test_selects_valid_tile(self):
+        r = euc2d(2048, 300, 300)
+        assert r.tile is not None
+        assert r.tile.ti <= 300 and r.tile.tj <= 300
+
+    @given(di=st.integers(8, 400), dj=st.integers(8, 400))
+    @settings(max_examples=30, deadline=None)
+    def test_cost_beats_unit_tile(self, di, dj):
+        r = euc2d(2048, di, dj)
+        assert r.cost <= 2.0  # the 1x1 tile costs 1/1 + 1/1
+
+    def test_zero_margin_picks_large_square_tile(self):
+        r = euc2d(2048, 300, 300)
+        assert r.tile.iterations > 100
+        assert r.cost < 0.2
+
+    def test_margins_supported(self):
+        r2 = euc2d(2048, 300, 300, mi=2, mj=2)
+        assert r2.tile.ti >= 10 and r2.tile.tj >= 10
+        # Trimmed tile + its margins reproduce a frontier array tile.
+        assert r2.array_tile is not None

@@ -1,0 +1,131 @@
+"""Tests for the figure series, fig22, mgrid app, and section 1 modules."""
+
+import pytest
+
+from repro.experiments.fig22 import fig22, format_fig22
+from repro.experiments.figures import (
+    GRAPH_GROUPS,
+    figure_series,
+    format_figure,
+    large_resid_series,
+)
+from repro.experiments.mgrid_app import format_mgrid_app, mgrid_app
+from repro.experiments.section1 import (
+    section1_thresholds,
+    verify_boundary_2d,
+    verify_boundary_3d,
+)
+
+SIZES = [40, 64, 90]
+
+
+class TestFigureSeries:
+    def test_series_structure(self, tiny_config):
+        data = figure_series("JACOBI", SIZES, tiny_config)
+        assert data.sizes == SIZES
+        for strat in ("Orig", "Tile", "Euc3D", "GcdPad", "Pad", "GcdPadNT"):
+            assert len(data.points[strat]) == len(SIZES)
+        l1 = data.series("l1_rate")
+        mf = data.series("mflops")
+        assert all(len(v) == len(SIZES) for v in l1.values())
+        assert all(x > 0 for x in mf["Orig"])
+
+    def test_stability_claim(self, tiny_config):
+        """GcdPad's miss-rate range across sizes is narrower than Orig's."""
+        data = figure_series("JACOBI", SIZES, tiny_config)
+        l1 = data.series("l1_rate")
+        spread = lambda xs: max(xs) - min(xs)
+        assert spread(l1["GcdPad"]) < spread(l1["Orig"])
+
+    def test_format_groups(self, tiny_config):
+        data = figure_series("JACOBI", SIZES[:2], tiny_config)
+        out = format_figure(data, "l1_rate", "L1 miss rate")
+        assert out.count("graph") == len(GRAPH_GROUPS)
+
+    def test_large_resid_uses_450(self, tiny_config):
+        from dataclasses import replace
+        from repro.perfmodel.machine import ULTRASPARC2_450
+
+        cfg = replace(tiny_config, machine=ULTRASPARC2_450)
+        data = large_resid_series([40, 56], cfg)
+        assert data.kernel == "RESID"
+
+
+class TestFig22:
+    def test_pad_cheaper_than_gcdpad(self, tiny_config):
+        res = fig22(sizes=[40, 52, 64, 90], cfg=tiny_config)
+        assert res.avg_pad_k30 <= res.avg_gcdpad_k30
+        for p in res.points:
+            assert p.pad_pct_k30 <= p.gcdpad_pct_k30 + 1e-9
+
+    def test_cubic_normalization_much_smaller(self, tiny_config):
+        res = fig22(sizes=[40, 64, 90], cfg=tiny_config)
+        assert res.avg_gcdpad_cubic < res.avg_gcdpad_k30
+
+    def test_paper_scale_averages(self):
+        """Full-scale check against the paper's 14.7% / 4.7% (Sec 4.5)."""
+        res = fig22(sizes=list(range(200, 401, 25)))
+        assert 8.0 < res.avg_gcdpad_k30 < 22.0
+        assert 1.0 < res.avg_pad_k30 < 9.0
+
+    def test_formatting(self, tiny_config):
+        out = format_fig22(fig22(sizes=[40], cfg=tiny_config))
+        assert "GcdPad" in out and "averages" in out
+
+
+class TestMgridApp:
+    def test_small_model_fields(self, tiny_config):
+        r = mgrid_app(finest_level=5, cfg=tiny_config)
+        assert r.finest_n == 34
+        assert 0 < r.resid_share < 1
+        assert r.tile != (0, 0)
+        assert r.padded_dims[0] >= 34
+        out = format_mgrid_app(r)
+        assert "improvement" in out
+        # At this scale the tile overhead can eat the win; the model
+        # must still stay in a sane band.
+        assert -15 < r.improvement_pct < 60
+
+    def test_tile_levels_option(self, tiny_config):
+        r_fin = mgrid_app(finest_level=5, cfg=tiny_config)
+        r_all = mgrid_app(finest_level=5, cfg=tiny_config,
+                          tile_levels="all")
+        # Tiling the coarser levels' RESID too never *hurts* the model
+        # beyond noise-free determinism: both are exact simulations.
+        assert r_all.finest_n == r_fin.finest_n
+        with pytest.raises(ValueError):
+            mgrid_app(finest_level=5, cfg=tiny_config, tile_levels="some")
+
+    @pytest.mark.slow
+    def test_improvement_positive_at_reference_size(self):
+        """At the paper's 130^3 reference size, tiling finest RESID wins.
+
+        The modeled gain is small (the paper saw 6%; our simulated
+        untiled miss rate at 130^3 is 4.4% vs their 6.8%, leaving less
+        headroom) but must be positive and far below the kernel-level
+        average, as Section 4.6 reports.
+        """
+        r = mgrid_app(finest_level=7)
+        assert r.finest_n == 130
+        assert 0 < r.improvement_pct < 10
+        assert r.finest_resid_l1_rate < 10  # "a modest L1 miss rate"
+
+
+class TestSection1:
+    def test_paper_thresholds(self):
+        c = section1_thresholds()
+        assert c.max_2d_l1 == 1024
+        assert c.max_3d_l1 == 32
+        assert c.max_3d_l2 == 362
+
+    def test_2d_boundary_simulated(self):
+        rates = verify_boundary_2d()
+        ns = sorted(rates)
+        assert rates[ns[0]] > 0.9 and rates[ns[1]] > 0.9
+        assert rates[ns[2]] < 0.1 and rates[ns[3]] < 0.1
+
+    def test_3d_boundary_simulated(self):
+        rates = verify_boundary_3d()
+        ns = sorted(rates)
+        assert rates[ns[0]] > 0.85
+        assert rates[ns[-1]] < 0.1

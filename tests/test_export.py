@@ -1,0 +1,40 @@
+"""Tests for CSV export of experiment results."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.export import (
+    points_to_csv,
+    read_points_csv,
+    write_points_csv,
+)
+from repro.experiments.runner import run_point
+
+
+@pytest.fixture
+def points(tiny_config):
+    return [run_point("JACOBI", s, 40, tiny_config)
+            for s in ("Orig", "GcdPad")]
+
+
+class TestCsv:
+    def test_header_and_rows(self, points):
+        text = points_to_csv(points)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("kernel,strategy,n,")
+        assert len(lines) == 3
+        assert lines[1].startswith("JACOBI,Orig,40,")
+
+    def test_roundtrip(self, points, tmp_path):
+        path = write_points_csv(points, tmp_path / "out" / "pts.csv")
+        back = read_points_csv(path)
+        assert len(back) == 2
+        orig, gcd = back
+        assert orig["strategy"] == "Orig" and orig["ti"] is None
+        assert gcd["ti"] == points[1].tile[0]
+        assert orig["l1_rate"] == pytest.approx(points[0].l1_rate)
+        assert gcd["di_p"] == points[1].di_p
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            read_points_csv(tmp_path / "nope.csv")

@@ -1,0 +1,97 @@
+"""Tests for affine expressions, bounds, and guards."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.expr import Affine, Bound, Mod2Guard, const, var
+
+
+class TestAffine:
+    def test_construction(self):
+        e = var("I") + 2 * var("J") - 3
+        assert e.coeff("I") == 1 and e.coeff("J") == 2 and e.c == -3
+
+    def test_eval(self):
+        e = var("I") * 3 + var("N") - 1
+        assert e.eval({"I": 4, "N": 10}) == 21
+
+    def test_eval_unbound_raises(self):
+        with pytest.raises(KeyError, match="N"):
+            var("N").eval({"I": 1})
+
+    def test_cancellation(self):
+        e = var("I") - var("I")
+        assert e.is_const and e.c == 0
+
+    def test_subs_with_affine(self):
+        # I -> I - K  (skewing substitution)
+        e = var("I") + 1
+        s = e.subs({"I": var("I") - var("K")})
+        assert s.eval({"I": 10, "K": 3}) == 8
+
+    def test_rsub_and_radd(self):
+        assert (5 - var("I")).eval({"I": 2}) == 3
+        assert (5 + var("I")).eval({"I": 2}) == 7
+
+    def test_mul_by_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            var("I") * 1.5  # type: ignore[operator]
+
+    @given(a=st.integers(-50, 50), b=st.integers(-50, 50),
+           x=st.integers(-100, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_algebra_matches_ints(self, a, b, x):
+        e = var("x") * a + b
+        f = (e + e) - e
+        assert f.eval({"x": x}) == a * x + b
+
+    def test_variables(self):
+        assert (var("I") + var("J")).variables() == {"I", "J"}
+
+    def test_of(self):
+        assert Affine.of(7).c == 7
+        with pytest.raises(TypeError):
+            Affine.of("x")  # type: ignore[arg-type]
+
+    def test_const_helper(self):
+        assert const(4).eval({}) == 4
+
+
+class TestBound:
+    def test_min_of_terms(self):
+        b = Bound((var("JJ") + 2, var("N") - 1), "min")
+        assert b.eval({"JJ": 10, "N": 9}) == 8
+        assert b.eval({"JJ": 1, "N": 100}) == 3
+
+    def test_max_kind(self):
+        b = Bound((var("JJ"), const(2)), "max")
+        assert b.eval({"JJ": 0}) == 2
+
+    def test_merge(self):
+        b = Bound.of(var("N") - 1, "min").merge(var("II") + 3, "min")
+        assert b.eval({"N": 5, "II": 9}) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Bound((), "min")
+        with pytest.raises(ValueError):
+            Bound((const(1),), "avg")
+
+    def test_subs(self):
+        b = Bound((var("I") + 1,), "min")
+        assert b.subs({"I": const(5)}).eval({}) == 6
+
+
+class TestMod2Guard:
+    def test_parity(self):
+        g = Mod2Guard(var("I") + var("J") + var("K"), 0)
+        assert g.eval({"I": 2, "J": 2, "K": 2})
+        assert not g.eval({"I": 2, "J": 2, "K": 3})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mod2Guard(var("I"), 2)
+
+    def test_subs(self):
+        g = Mod2Guard(var("I"), 1).subs({"I": var("I") + 1})
+        assert g.eval({"I": 0})

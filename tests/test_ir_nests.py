@@ -1,0 +1,163 @@
+"""Tests for loops, references, interpretation, and dependences."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.ir.dependence import (
+    distance_vectors,
+    is_fully_permutable,
+    legal_permutation,
+    lexicographically_positive,
+)
+from repro.ir.expr import var
+from repro.ir.interp import executed_statements, iterate, reference_trace
+from repro.ir.loops import Loop, LoopNest, Statement
+from repro.ir.refs import ArrayRef
+from repro.ir.stencil import (
+    JACOBI_2D,
+    JACOBI_3D,
+    RESID_27PT,
+    jacobi2d_nest,
+    jacobi3d_nest,
+    resid_nest,
+)
+from repro.layout.array import allocate
+
+
+class TestStencilPatterns:
+    def test_margins(self):
+        assert (JACOBI_2D.mi, JACOBI_2D.mj) == (2, 2)
+        assert (JACOBI_3D.mi, JACOBI_3D.mj) == (2, 2)
+        assert (RESID_27PT.mi, RESID_27PT.mj) == (2, 2)
+
+    def test_atd(self):
+        assert JACOBI_3D.atd == 3
+        assert RESID_27PT.atd == 3
+        assert JACOBI_2D.atd == 1
+
+    def test_point_counts(self):
+        assert JACOBI_3D.points == 6
+        assert RESID_27PT.points == 27
+
+
+class TestLoop:
+    def test_range_positive(self):
+        lp = Loop.make("I", 2, var("N") - 1)
+        assert list(lp.range_values({"N": 6})) == [2, 3, 4, 5]
+
+    def test_range_negative_step(self):
+        lp = Loop.make("K", var("KK") + 1, var("KK"), step=-1)
+        assert list(lp.range_values({"KK": 5})) == [6, 5]
+
+    def test_empty_range(self):
+        lp = Loop.make("I", 5, 4)
+        assert list(lp.range_values({})) == []
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(TransformError):
+            Loop.make("I", 0, 1, step=0)
+
+
+class TestLoopNest:
+    def test_duplicate_vars_rejected(self):
+        with pytest.raises(TransformError):
+            LoopNest(loops=(Loop.make("I", 1, 2), Loop.make("I", 1, 2)),
+                     body=())
+
+    def test_loop_lookup(self):
+        nest = jacobi3d_nest()
+        assert nest.loop("J").var == "J"
+        assert nest.loop_index("I") == 2
+        with pytest.raises(TransformError):
+            nest.loop("Z")
+
+    def test_all_refs(self):
+        assert len(jacobi3d_nest().all_refs()) == 7  # 6 reads + 1 write
+
+
+class TestInterp:
+    def test_iteration_order_2d(self):
+        nest = jacobi2d_nest()
+        order = [(d["J"], d["I"]) for d in iterate(nest, {"N": 5})]
+        # J outer, I inner, both 2..4.
+        assert order == [(j, i) for j in (2, 3, 4) for i in (2, 3, 4)]
+
+    def test_trace_counts(self):
+        nest = jacobi3d_nest()
+        specs = allocate([("B", 6, 6, 6), ("A", 6, 6, 6)])
+        trace = list(reference_trace(nest, {"N": 6}, specs))
+        assert len(trace) == 4 ** 3 * 7
+        writes = [a for a, w in trace if w]
+        assert len(writes) == 64 and len(set(writes)) == 64
+
+    def test_guards_filter_statements(self):
+        from repro.ir.expr import Mod2Guard
+
+        st_red = Statement(refs=(ArrayRef.make("A", var("I"), is_write=True),),
+                           guards=(Mod2Guard(var("I"), 0),))
+        nest = LoopNest(loops=(Loop.make("I", 0, 5),), body=(st_red,))
+        execd = [env["I"] for env, _ in executed_statements(nest, {})]
+        assert execd == [0, 2, 4]
+
+    def test_range_guards(self):
+        st = Statement(refs=(ArrayRef.make("A", var("K"), is_write=True),),
+                       range_guards=((var("K") - 2, 4 - var("K")),))
+        nest = LoopNest(loops=(Loop.make("K", 0, 6),), body=(st,))
+        execd = [env["K"] for env, _ in executed_statements(nest, {})]
+        assert execd == [2, 3, 4]
+
+
+class TestDependence:
+    def test_jacobi_has_no_loop_carried_deps(self):
+        # A and B are distinct arrays: tiling J and I is legal.
+        deps = distance_vectors(jacobi3d_nest())
+        assert deps == []
+
+    def test_resid_no_deps(self):
+        assert distance_vectors(resid_nest()) == []
+
+    def test_input_deps_capture_group_reuse(self):
+        deps = distance_vectors(jacobi3d_nest(), include_input=True)
+        dists = {d.distance for d in deps}
+        # B(I,J,K-1) vs B(I,J,K+1): reuse across K at distance 2.
+        assert (2, 0, 0) in dists
+        # B(I-1,J,K) vs B(I+1,J,K): reuse across I at distance 2.
+        assert (0, 0, 2) in dists
+
+    def test_inplace_stencil_deps(self):
+        # Gauss-Seidel-style in-place update has loop-carried flow deps.
+        I, J = var("I"), var("J")
+        st = Statement(refs=(
+            ArrayRef.make("A", I - 1, J),
+            ArrayRef.make("A", I, J - 1),
+            ArrayRef.make("A", I, J, is_write=True),
+        ))
+        nest = LoopNest(loops=(Loop.make("J", 2, 9), Loop.make("I", 2, 9)),
+                        body=(st,), name="seidel")
+        deps = distance_vectors(nest)
+        dists = sorted(d.distance for d in deps)
+        assert (0, 1) in dists and (1, 0) in dists
+
+    def test_lexicographic(self):
+        assert lexicographically_positive((0, 1, -5))
+        assert not lexicographically_positive((0, 0, 0))
+        assert not lexicographically_positive((-1, 9))
+
+    def test_legal_permutation(self):
+        class D:  # tiny stand-in
+            def __init__(self, d):
+                self.distance = d
+
+        deps = [D((1, -1))]
+        assert legal_permutation(deps, [0, 1])
+        assert not legal_permutation(deps, [1, 0])
+
+    def test_fully_permutable_band(self):
+        class D:
+            def __init__(self, d):
+                self.distance = d
+
+        assert is_fully_permutable([D((0, 1, 1))], band=[1, 2])
+        assert not is_fully_permutable([D((0, 1, -1))], band=[1, 2])
+        # Satisfied outside the band: inner negatives are fine.
+        assert is_fully_permutable([D((1, 0, -1))], band=[1, 2])

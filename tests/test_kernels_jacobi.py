@@ -1,0 +1,130 @@
+"""Tests for the 2D and 3D Jacobi kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.ir.interp import reference_trace
+from repro.ir.stencil import jacobi2d_nest, jacobi3d_nest
+from repro.kernels import Jacobi2D, Jacobi3D, Schedule
+from repro.types import SelectionResult, TileSize
+
+from tests.helpers import collect_trace
+
+
+def sel(n, tile=None, di_p=None, dj_p=None, strategy="x"):
+    return SelectionResult(strategy=strategy, tile=tile,
+                           di_p=di_p or n, dj_p=dj_p or n)
+
+
+class TestJacobi3DNumerics:
+    def test_reference_step_matches_loop(self, rng):
+        n = 6
+        b = rng.random((n, n, n))
+        a = np.zeros((n, n, n))
+        Jacobi3D.step_reference(a, b, c=0.5)
+        i, j, k = 2, 3, 1
+        expected = 0.5 * (b[i - 1, j, k] + b[i + 1, j, k] + b[i, j - 1, k] +
+                          b[i, j + 1, k] + b[i, j, k - 1] + b[i, j, k + 1])
+        assert a[i, j, k] == pytest.approx(expected)
+        # Boundary untouched.
+        assert np.all(a[0] == 0) and np.all(a[:, :, -1] == 0)
+
+    @given(n=st.integers(4, 12), nk=st.integers(4, 10),
+           ti=st.integers(1, 6), tj=st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_tiled_equals_reference(self, n, nk, ti, tj):
+        kern = Jacobi3D(n, nk)
+        a1, b1 = kern.init_state(seed=7)
+        a2, b2 = kern.init_state(seed=7)
+        kern.step_reference(a1, b1)
+        kern.step_tiled(a2, b2, ti, tj)
+        assert np.array_equal(a1, a2)
+
+    def test_solve_schedule_invariance(self):
+        kern = Jacobi3D(8, 8)
+        r1 = kern.solve(sweeps=3, seed=1)
+        r2 = kern.solve(sweeps=3, tile=(3, 2), seed=1)
+        assert np.array_equal(r1, r2)
+
+
+class TestJacobi3DTraces:
+    def test_untiled_matches_ir(self):
+        n = 6
+        kern = Jacobi3D(n, n)
+        addrs, w = collect_trace(kern.trace(sel(n)))
+        slow = list(reference_trace(jacobi3d_nest(), {"N": n}, kern.specs()))
+        assert list(zip((addrs // 8).tolist(), w.tolist())) == slow
+
+    def test_tiled_is_permutation(self):
+        n = 7
+        kern = Jacobi3D(n, n)
+        base, bw = collect_trace(kern.trace(sel(n)))
+        tiled, tw = collect_trace(kern.trace(sel(n, TileSize(3, 2))))
+        assert sorted(zip(base.tolist(), bw.tolist())) == \
+            sorted(zip(tiled.tolist(), tw.tolist()))
+
+    def test_padding_changes_strides(self):
+        n = 6
+        kern = Jacobi3D(n, n)
+        plain, _ = collect_trace(kern.trace(sel(n)))
+        padded, _ = collect_trace(kern.trace(sel(n, di_p=8, dj_p=7)))
+        assert plain.shape == padded.shape
+        assert not np.array_equal(plain, padded)
+
+    def test_3loop_schedule(self):
+        n = 7
+        kern = Jacobi3D(n, n)
+        s = SelectionResult(strategy="WolfLam3", tile=TileSize(3, 3),
+                            di_p=n, dj_p=n)
+        base, _ = collect_trace(kern.trace(sel(n)))
+        t3, _ = collect_trace(kern.trace(s, schedule=Schedule.TILED_3LOOP))
+        assert sorted(base.tolist()) == sorted(t3.tolist())
+
+    def test_counts(self):
+        kern = Jacobi3D(10, 6)
+        assert kern.interior_points() == 8 * 8 * 4
+        assert kern.sweep_flops() == 6 * kern.interior_points()
+        assert kern.sweep_refs() == 7 * kern.interior_points()
+
+    def test_bad_schedule(self):
+        kern = Jacobi3D(6, 6)
+        with pytest.raises(ConfigurationError):
+            list(kern.iter_chunks(Schedule.FUSED))
+
+    def test_padding_below_n_rejected(self):
+        kern = Jacobi3D(6, 6)
+        with pytest.raises(ConfigurationError):
+            kern.specs(di_p=5)
+
+    def test_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            Jacobi3D(2)
+        with pytest.raises(ConfigurationError):
+            Jacobi3D(5, 2)
+
+
+class TestJacobi2D:
+    def test_trace_matches_ir(self):
+        n = 8
+        kern = Jacobi2D(n, n)
+        addrs, w = collect_trace(kern.trace())
+        slow = list(reference_trace(jacobi2d_nest(), {"N": n}, kern.specs()))
+        assert list(zip((addrs // 8).tolist(), w.tolist())) == slow
+
+    def test_rectangular(self):
+        kern = Jacobi2D(16, 5)
+        addrs, _ = collect_trace(kern.trace())
+        assert addrs.size == kern.interior_points() * 5
+
+    def test_step(self, rng):
+        b = rng.random((5, 5))
+        a = np.zeros((5, 5))
+        Jacobi2D.step_reference(a, b, c=0.25)
+        assert a[2, 2] == pytest.approx(
+            0.25 * (b[1, 2] + b[3, 2] + b[2, 1] + b[2, 3]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Jacobi2D(2)

@@ -1,0 +1,87 @@
+"""Tests for the PSINV smoother kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.kernels import Psinv, Schedule
+from repro.kernels.mg_ops import psinv_op
+from repro.types import SelectionResult, TileSize
+
+from tests.helpers import collect_trace
+
+
+def sel(n, tile=None):
+    return SelectionResult(strategy="x", tile=tile, di_p=n, dj_p=n)
+
+
+class TestNumerics:
+    def test_matches_mg_ops(self):
+        k = Psinv(9, 9)
+        r, u1 = k.init_state(1)
+        u2 = u1.copy()
+        k.step_reference(r, u1)
+        psinv_op(r, u2)
+        assert np.allclose(u1, u2)
+
+    @given(n=st.integers(4, 10), nk=st.integers(4, 8),
+           ti=st.integers(1, 5), tj=st.integers(1, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_tiled_equals_reference(self, n, nk, ti, tj):
+        k = Psinv(n, nk)
+        r, u1 = k.init_state(3)
+        _, u2 = k.init_state(3)
+        k.step_reference(r, u1)
+        k.step_tiled(r, u2, ti, tj)
+        assert np.array_equal(u1, u2)
+
+    def test_custom_coefficients(self):
+        k = Psinv(6, 6, c=(1.0, 0.0, 0.0, 0.0))
+        r, u = k.init_state(0)
+        before = u.copy()
+        k.step_reference(r, u)
+        assert np.allclose(u[1:-1, 1:-1, 1:-1],
+                           before[1:-1, 1:-1, 1:-1] + r[1:-1, 1:-1, 1:-1])
+
+
+class TestTraces:
+    def test_29_refs_last_is_u_write(self):
+        k = Psinv(5, 5)
+        addrs, w = collect_trace(k.trace(sel(5)))
+        assert addrs.size == k.interior_points() * 29
+        per = w.reshape(-1, 29)
+        assert per[:, -1].all() and not per[:, :-1].any()
+        # The += read and the write hit the same element address.
+        a = addrs.reshape(-1, 29)
+        assert np.array_equal(a[:, -1], a[:, -2])
+
+    def test_only_r_padded(self):
+        k = Psinv(5, 5)
+        specs = k.specs(di_p=8, dj_p=8)
+        assert specs["R"].di == 8
+        assert specs["U"].di == 5
+
+    def test_tiled_is_permutation(self):
+        k = Psinv(6, 6)
+        base, _ = collect_trace(k.trace(sel(6)))
+        tiled, _ = collect_trace(k.trace(sel(6, TileSize(2, 3))))
+        assert sorted(base.tolist()) == sorted(tiled.tolist())
+
+    def test_rejects_fused(self):
+        with pytest.raises(ConfigurationError):
+            list(Psinv(6, 6).iter_chunks(Schedule.FUSED))
+
+    def test_in_registry(self):
+        from repro.kernels import KERNELS
+
+        assert KERNELS["PSINV"] is Psinv
+
+
+class TestSimulation:
+    def test_tiling_helps(self, tiny_config):
+        from repro.experiments.runner import run_point
+
+        orig = run_point("PSINV", "Orig", 40, tiny_config)
+        gcd = run_point("PSINV", "GcdPad", 40, tiny_config)
+        assert gcd.l1_rate < orig.l1_rate

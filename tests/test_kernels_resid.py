@@ -1,0 +1,103 @@
+"""Tests for the RESID 27-point kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.interp import reference_trace
+from repro.ir.stencil import resid_nest
+from repro.kernels import Resid, Schedule
+from repro.kernels.resid import NAS_MG_A
+from repro.types import SelectionResult, TileSize
+
+from tests.helpers import collect_trace
+
+
+def sel(n, tile=None, di_p=None, dj_p=None):
+    return SelectionResult(strategy="x", tile=tile, di_p=di_p or n,
+                           dj_p=dj_p or n)
+
+
+class TestNumerics:
+    def test_direct_formula(self, rng):
+        n = 5
+        kern = Resid(n, n, a=(1.0, 0.5, 0.25, 0.125))
+        u = rng.random((n, n, n))
+        v = rng.random((n, n, n))
+        r = np.zeros((n, n, n))
+        kern.step_reference(r, u, v)
+        i, j, k = 2, 2, 2
+        face = sum(u[i + di, j + dj, k + dk]
+                   for di, dj, dk in ((-1, 0, 0), (1, 0, 0), (0, -1, 0),
+                                      (0, 1, 0), (0, 0, -1), (0, 0, 1)))
+        edge = sum(u[i + di, j + dj, k + dk]
+                   for di in (-1, 0, 1) for dj in (-1, 0, 1)
+                   for dk in (-1, 0, 1)
+                   if abs(di) + abs(dj) + abs(dk) == 2)
+        corner = sum(u[i + di, j + dj, k + dk]
+                     for di in (-1, 1) for dj in (-1, 1) for dk in (-1, 1))
+        expected = (v[i, j, k] - 1.0 * u[i, j, k] - 0.5 * face
+                    - 0.25 * edge - 0.125 * corner)
+        assert r[i, j, k] == pytest.approx(expected)
+
+    def test_nas_coefficients_skip_faces(self, rng):
+        """A1=0: face values must not affect the NAS residual."""
+        n = 5
+        kern = Resid(n, n, a=NAS_MG_A)
+        u = rng.random((n, n, n))
+        v = rng.random((n, n, n))
+        r1 = np.zeros((n, n, n))
+        kern.step_reference(r1, u, v)
+        u2 = u.copy()
+        u2[1, 2, 2] += 100.0  # a face neighbour of (2,2,2)
+        r2 = np.zeros((n, n, n))
+        kern.step_reference(r2, u2, v)
+        assert r1[2, 2, 2] == pytest.approx(r2[2, 2, 2])
+
+    @given(n=st.integers(4, 10), nk=st.integers(4, 8),
+           ti=st.integers(1, 5), tj=st.integers(1, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_tiled_equals_reference(self, n, nk, ti, tj):
+        kern = Resid(n, nk)
+        u, v, r1 = kern.init_state(1)
+        _, _, r2 = kern.init_state(1)
+        kern.step_reference(r1, u, v)
+        kern.step_tiled(r2, u, v, ti, tj)
+        assert np.array_equal(r1, r2)
+
+
+class TestTraces:
+    def test_untiled_matches_ir(self):
+        n = 5
+        kern = Resid(n, n)
+        addrs, w = collect_trace(kern.trace(sel(n)))
+        slow = list(reference_trace(resid_nest(), {"N": n}, kern.specs()))
+        assert list(zip((addrs // 8).tolist(), w.tolist())) == slow
+
+    def test_29_refs_per_iteration(self):
+        kern = Resid(5, 5)
+        addrs, w = collect_trace(kern.trace(sel(5)))
+        assert addrs.size == kern.interior_points() * 29
+        assert w.reshape(-1, 29)[:, -1].all()       # write is last
+        assert not w.reshape(-1, 29)[:, :-1].any()  # rest are reads
+
+    def test_tiled_is_permutation(self):
+        n = 6
+        kern = Resid(n, n)
+        base, _ = collect_trace(kern.trace(sel(n)))
+        tiled, _ = collect_trace(kern.trace(sel(n, TileSize(2, 3))))
+        assert sorted(base.tolist()) == sorted(tiled.tolist())
+
+    def test_v_read_tolerated_not_removed(self):
+        """Cross-interference strategy 'tolerate': V stays in the trace."""
+        kern = Resid(5, 5)
+        specs = kern.specs()
+        refs = kern.refs(specs)
+        arrays = [r.array.name for r in refs]
+        assert arrays[0] == "V" and arrays.count("U") == 27
+        assert arrays[-1] == "R"
+
+    def test_meta(self):
+        assert Resid.meta.reads == 28
+        assert Resid.meta.writes == 1
+        assert Resid.meta.atd == 3

@@ -1,0 +1,94 @@
+"""Tests for column-major array address math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.array import ArraySpec, allocate
+
+
+class TestArraySpec:
+    def test_column_major_order(self):
+        spec = ArraySpec("B", di=10, dj=5, dk=3)
+        # I is the fastest-varying dimension.
+        assert spec.addr(1, 0, 0) - spec.addr(0, 0, 0) == 1
+        assert spec.addr(0, 1, 0) - spec.addr(0, 0, 0) == 10
+        assert spec.addr(0, 0, 1) - spec.addr(0, 0, 0) == 50
+
+    def test_base_offset(self):
+        spec = ArraySpec("B", di=4, dj=4, dk=4, base=1000)
+        assert spec.addr(0, 0, 0) == 1000
+        assert spec.end == 1000 + 64
+
+    def test_bounds_checking(self):
+        spec = ArraySpec("B", di=4, dj=4, dk=4)
+        with pytest.raises(LayoutError):
+            spec.addr(4, 0, 0)
+        with pytest.raises(LayoutError):
+            spec.addr(0, -1, 0)
+        with pytest.raises(LayoutError):
+            spec.addr(0, 0, 4)
+
+    def test_addr_array_matches_scalar(self, rng):
+        spec = ArraySpec("B", di=7, dj=9, dk=4, base=55)
+        i = rng.integers(0, 7, size=100)
+        j = rng.integers(0, 9, size=100)
+        k = rng.integers(0, 4, size=100)
+        vec = spec.addr_array(i, j, k)
+        scalar = [spec.addr(a, b, c) for a, b, c in zip(i, j, k)]
+        assert vec.tolist() == scalar
+
+    def test_addr_array_check(self):
+        spec = ArraySpec("B", di=4, dj=4, dk=1)
+        with pytest.raises(LayoutError):
+            spec.addr_array(np.array([5]), np.array([0]), check=True)
+
+    @given(di=st.integers(1, 50), dj=st.integers(1, 50), dk=st.integers(1, 5),
+           base=st.integers(0, 1000))
+    def test_unaddr_roundtrip(self, di, dj, dk, base):
+        spec = ArraySpec("X", di=di, dj=dj, dk=dk, base=base)
+        for addr in (spec.base, spec.end - 1,
+                     spec.base + spec.size // 2):
+            i, j, k = spec.unaddr(addr)
+            assert spec.addr(i, j, k) == addr
+
+    def test_unaddr_out_of_range(self):
+        spec = ArraySpec("X", di=4, dj=4, dk=1, base=100)
+        with pytest.raises(LayoutError):
+            spec.unaddr(99)
+
+    def test_invalid_dims(self):
+        with pytest.raises(LayoutError):
+            ArraySpec("X", di=0, dj=1, dk=1)
+        with pytest.raises(LayoutError):
+            ArraySpec("X", di=1, dj=1, dk=1, base=-1)
+
+    def test_with_dims(self):
+        spec = ArraySpec("X", di=4, dj=4, dk=2, base=10)
+        padded = spec.with_dims(di=6)
+        assert padded.di == 6 and padded.dj == 4 and padded.base == 10
+        assert padded.name == "X"
+
+
+class TestAllocate:
+    def test_disjoint_ranges(self):
+        specs = allocate([("A", 5, 5, 2), ("B", 5, 5, 2), ("C", 3, 3, 1)])
+        names = list(specs)
+        assert names == ["A", "B", "C"]
+        assert specs["A"].end == specs["B"].base
+        assert not specs["A"].overlaps(specs["B"])
+        assert not specs["B"].overlaps(specs["C"])
+
+    def test_gap(self):
+        specs = allocate([("A", 2, 2, 1), ("B", 2, 2, 1)], gap=7)
+        assert specs["B"].base == specs["A"].end + 7
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(LayoutError):
+            allocate([("A", 2, 2, 1), ("A", 2, 2, 1)])
+
+    def test_overlaps_detects(self):
+        a = ArraySpec("A", di=10, dj=1, dk=1, base=0)
+        b = ArraySpec("B", di=10, dj=1, dk=1, base=5)
+        assert a.overlaps(b) and b.overlaps(a)

@@ -1,0 +1,73 @@
+"""Tests for padding application and memory accounting."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.array import ArraySpec, allocate
+from repro.layout.padding import (
+    apply_pad,
+    inter_variable_pads,
+    memory_overhead,
+)
+
+
+class TestApplyPad:
+    def test_grows_declared_dims(self):
+        spec = ArraySpec("A", di=200, dj=200, dk=30)
+        padded = apply_pad(spec, 224, 208)
+        assert (padded.di, padded.dj, padded.dk) == (224, 208, 30)
+        # K stride now uses the padded plane.
+        assert padded.addr(0, 0, 1) - padded.addr(0, 0, 0) == 224 * 208
+
+    def test_rejects_shrink(self):
+        spec = ArraySpec("A", di=10, dj=10)
+        with pytest.raises(LayoutError):
+            apply_pad(spec, 9, 10)
+
+
+class TestMemoryOverhead:
+    def test_percent(self):
+        r = memory_overhead(200, 200, 30, 224, 208)
+        assert r.extra_elements == (224 * 208 - 200 * 200) * 30
+        assert r.percent == pytest.approx(100 * (224 * 208 / 40000 - 1))
+
+    def test_zero_pad(self):
+        assert memory_overhead(10, 10, 10, 10, 10).percent == 0.0
+
+    def test_rejects_shrink(self):
+        with pytest.raises(LayoutError):
+            memory_overhead(10, 10, 10, 9, 10)
+
+
+class TestInterVariablePads:
+    def test_offsets_mod_cache(self):
+        specs = list(allocate([("U", 10, 10, 2), ("V", 10, 10, 2)]).values())
+        out = inter_variable_pads(specs, cache_elems=64)
+        # First array keeps offset 0; second lands at offset 32 mod 64.
+        assert out[0].base % 64 == 0
+        assert out[1].base % 64 == 32
+        assert out[1].base >= out[0].end
+
+    def test_explicit_partitions(self):
+        specs = list(allocate([("U", 8, 8, 1), ("V", 8, 8, 1),
+                               ("R", 8, 8, 1)]).values())
+        out = inter_variable_pads(specs, cache_elems=128,
+                                  partitions=[96, 16, 16])
+        assert out[0].base % 128 == 0
+        assert out[1].base % 128 == 96
+        assert out[2].base % 128 == 112
+
+    def test_no_overlap(self):
+        specs = list(allocate([("U", 33, 7, 3), ("V", 15, 9, 2)]).values())
+        out = inter_variable_pads(specs, cache_elems=256)
+        assert out[1].base >= out[0].end
+
+    def test_partition_validation(self):
+        specs = list(allocate([("U", 4, 4, 1)]).values())
+        with pytest.raises(LayoutError):
+            inter_variable_pads(specs, 16, partitions=[8, 8])
+        with pytest.raises(LayoutError):
+            inter_variable_pads(specs, 16, partitions=[32])
+
+    def test_empty(self):
+        assert inter_variable_pads([], 64) == []

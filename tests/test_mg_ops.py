@@ -1,0 +1,109 @@
+"""Tests for the multigrid grid operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.mg_ops import (
+    NAS_A,
+    coarse_size,
+    interp,
+    psinv_op,
+    resid_op,
+    residual_norm,
+    rprj3,
+)
+
+
+class TestResidOp:
+    def test_zero_solution_gives_v(self, rng):
+        v = rng.random((9, 9, 9))
+        r = resid_op(np.zeros((9, 9, 9)), v)
+        assert np.allclose(r[1:-1, 1:-1, 1:-1], v[1:-1, 1:-1, 1:-1])
+        assert np.all(r[0] == 0) and np.all(r[-1] == 0)
+
+    def test_tiled_identical(self, rng):
+        u = rng.random((9, 9, 9))
+        v = rng.random((9, 9, 9))
+        assert np.array_equal(resid_op(u, v), resid_op(u, v, tile=(3, 4)))
+
+    def test_linear_in_u(self, rng):
+        u1 = rng.random((7, 7, 7))
+        u2 = rng.random((7, 7, 7))
+        v = np.zeros((7, 7, 7))
+        r = resid_op(u1 + u2, v)
+        assert np.allclose(r, resid_op(u1, v) + resid_op(u2, v))
+
+
+class TestPsinv:
+    def test_updates_in_place(self, rng):
+        u = np.zeros((7, 7, 7))
+        r = rng.random((7, 7, 7))
+        psinv_op(r, u)
+        assert np.any(u[1:-1, 1:-1, 1:-1] != 0)
+        assert np.all(u[0] == 0)
+
+    def test_reduces_residual(self, rng):
+        """One smoothing application must shrink the residual norm."""
+        v = np.zeros((17, 17, 17))
+        v[1:-1, 1:-1, 1:-1] = rng.standard_normal((15, 15, 15))
+        u = np.zeros_like(v)
+        before = residual_norm(u, v)
+        psinv_op(resid_op(u, v), u)
+        after = residual_norm(u, v)
+        assert after < before
+
+
+class TestTransfers:
+    def test_coarse_size(self):
+        assert coarse_size(9) == 5
+        assert coarse_size(33) == 17
+        with pytest.raises(ConfigurationError):
+            coarse_size(10)
+        with pytest.raises(ConfigurationError):
+            coarse_size(3)
+
+    def test_rprj3_constant_preserved(self):
+        """Full weighting of a constant interior is (mostly) constant."""
+        fine = np.ones((17, 17, 17))
+        coarse = rprj3(fine)
+        assert coarse.shape == (9, 9, 9)
+        # Interior coarse points away from the boundary average to 1.
+        assert np.allclose(coarse[2:-2, 2:-2, 2:-2], 1.0)
+
+    def test_rprj3_weights_sum(self):
+        """A single fine point spreads 1/64-weighted mass."""
+        fine = np.zeros((9, 9, 9))
+        fine[4, 4, 4] = 64.0
+        coarse = rprj3(fine)
+        assert coarse[2, 2, 2] == pytest.approx(8.0)  # center weight 8/64
+
+    def test_interp_exact_at_coarse_points(self, rng):
+        coarse = np.zeros((5, 5, 5))
+        coarse[1:-1, 1:-1, 1:-1] = rng.random((3, 3, 3))
+        fine = interp(coarse)
+        assert fine.shape == (9, 9, 9)
+        assert np.array_equal(fine[::2, ::2, ::2], coarse)
+
+    def test_interp_linear_midpoints(self):
+        coarse = np.zeros((5, 5, 5))
+        coarse[2, 2, 2] = 4.0
+        fine = interp(coarse)
+        assert fine[3, 4, 4] == pytest.approx(2.0)   # edge midpoint
+        assert fine[3, 3, 4] == pytest.approx(1.0)   # face midpoint
+        assert fine[3, 3, 3] == pytest.approx(0.5)   # cell center
+
+    def test_interp_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            interp(np.zeros((5, 5, 5)), n_fine=10)
+
+    def test_transfer_roundtrip_damps(self, rng):
+        """rprj3(interp(x)) ~ x for smooth x (transfer consistency)."""
+        coarse = np.zeros((9, 9, 9))
+        xs = np.linspace(0, np.pi, 9)
+        smooth = np.sin(xs)[:, None, None] * np.sin(xs)[None, :, None] \
+            * np.sin(xs)[None, None, :]
+        coarse[1:-1, 1:-1, 1:-1] = smooth[1:-1, 1:-1, 1:-1]
+        back = rprj3(interp(coarse))
+        err = np.abs(back - coarse)[2:-2, 2:-2, 2:-2].max()
+        assert err < 0.1

@@ -1,0 +1,94 @@
+"""Tests for the analytical miss model."""
+
+import pytest
+
+from repro.core.missmodel import (
+    column_groups,
+    tiled_miss_rate,
+    untiled_miss_rate,
+)
+from repro.ir.stencil import JACOBI_3D, RESID_27PT
+
+
+class TestColumnGroups:
+    def test_jacobi_groups(self):
+        # 6-pt stencil: columns (0,0), (-1,0), (1,0), (0,-1), (0,1).
+        assert column_groups(JACOBI_3D.offsets) == [
+            (-1, 0), (0, -1), (0, 0), (0, 1), (1, 0)]
+
+    def test_resid_groups(self):
+        assert len(column_groups(RESID_27PT.offsets)) == 9
+
+
+class TestUntiled:
+    def test_small_arrays_only_cold(self):
+        """When everything fits, only the true lead groups miss."""
+        p = untiled_miss_rate(JACOBI_3D.offsets, 20, 2048, 4, 7)
+        # Lead groups: (0, 1) has no successor... every group except the
+        # lexicographically-last (ok, oj) has a predecessor within
+        # 20^2*1+... <= 2048 -> only 1 missing group.
+        assert p.missing_groups == 1
+
+    def test_k_reuse_lost_beyond_threshold(self):
+        """Crossing N = sqrt(C_s/2) = 32 adds the K-plane groups."""
+        below = untiled_miss_rate(JACOBI_3D.offsets, 30, 2048, 4, 7)
+        above = untiled_miss_rate(JACOBI_3D.offsets, 40, 2048, 4, 7)
+        assert above.missing_groups > below.missing_groups
+
+    def test_2d_column_threshold(self):
+        """2D Jacobi keeps its trailing column exactly to N = C_s/2."""
+        from repro.ir.stencil import JACOBI_2D
+
+        at = untiled_miss_rate(JACOBI_2D.offsets, 1000, 2048, 4, 5)
+        past = untiled_miss_rate(JACOBI_2D.offsets, 1050, 2048, 4, 5)
+        assert at.missing_groups == 1      # lead only
+        assert past.missing_groups == 3    # both column reuses lost
+
+    def test_l2_plane_threshold(self):
+        """3D Jacobi keeps plane reuse in the 2M L2 exactly to N=362."""
+        at = untiled_miss_rate(JACOBI_3D.offsets, 362, 262144, 8, 7)
+        past = untiled_miss_rate(JACOBI_3D.offsets, 400, 262144, 8, 7)
+        assert at.missing_groups == 1
+        assert past.missing_groups == 3
+
+    def test_matches_simulation_including_conflicts(self):
+        """The wrap condition captures direct-mapped conflicts too."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_point
+
+        cfg = ExperimentConfig()
+        for n in (200, 300, 350):
+            pred = untiled_miss_rate(JACOBI_3D.offsets, n, cfg.cs,
+                                     cfg.l1.line_elements(), 7)
+            sim = run_point("JACOBI", "Orig", n, cfg)
+            assert pred.percent == pytest.approx(sim.l1_rate, rel=0.15)
+
+    def test_underpredicts_at_pathological_sizes(self):
+        """The model-vs-simulation gap detects conflict misses."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_point
+
+        cfg = ExperimentConfig()
+        pred = untiled_miss_rate(JACOBI_3D.offsets, 256, cfg.cs,
+                                 cfg.l1.line_elements(), 7)
+        sim = run_point("JACOBI", "Orig", 256, cfg)
+        assert sim.l1_rate > 2.5 * pred.percent
+
+
+class TestTiled:
+    def test_is_cost_over_line(self):
+        p = tiled_miss_rate(30, 14, 2, 2, 4, 7)
+        from repro.core.cost import cost
+
+        assert p.miss_rate == pytest.approx(cost(30, 14) / (4 * 7))
+
+    def test_bigger_tiles_predict_fewer_misses(self):
+        small = tiled_miss_rate(4, 4, 2, 2, 4, 7)
+        big = tiled_miss_rate(30, 14, 2, 2, 4, 7)
+        assert big.miss_rate < small.miss_rate
+
+    def test_tracks_simulation_direction(self):
+        """Tiled prediction must land below the untiled one (the win)."""
+        untiled = untiled_miss_rate(JACOBI_3D.offsets, 300, 2048, 4, 7)
+        tiled = tiled_miss_rate(30, 14, 2, 2, 4, 7)
+        assert tiled.miss_rate < untiled.miss_rate

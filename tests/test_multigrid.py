@@ -1,0 +1,97 @@
+"""Tests for the multigrid hierarchy and V-cycle solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.multigrid import GridHierarchy, MGSolver
+
+
+def rhs(n, seed=0):
+    rng = np.random.default_rng(seed)
+    v = np.zeros((n, n, n))
+    v[1:-1, 1:-1, 1:-1] = rng.standard_normal((n - 2,) * 3)
+    return v
+
+
+class TestHierarchy:
+    def test_sizes(self):
+        h = GridHierarchy(finest_level=5, coarsest_level=2)
+        assert h.sizes == [5, 9, 17, 33]
+        assert h.finest_size == 33
+
+    def test_work_concentrated_at_finest(self):
+        h = GridHierarchy(finest_level=6)
+        assert h.work_share(6) > 0.85
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GridHierarchy(finest_level=1, coarsest_level=2)
+        h = GridHierarchy(finest_level=4)
+        with pytest.raises(ConfigurationError):
+            h.size(7)
+
+
+class TestSolver:
+    def test_residual_decreases_every_cycle(self):
+        h = GridHierarchy(finest_level=4)
+        _, rep = MGSolver(h).solve(rhs(17), iterations=5)
+        for a, b in zip(rep.residual_norms, rep.residual_norms[1:]):
+            assert b < a
+
+    def test_converges_with_target(self):
+        h = GridHierarchy(finest_level=4)
+        u, rep = MGSolver(h).solve(rhs(17), iterations=8, target=0.2)
+        assert rep.final_norm < 0.2
+        assert rep.reduction_per_iter < 0.75
+
+    def test_convergence_error(self):
+        h = GridHierarchy(finest_level=4)
+        with pytest.raises(ConvergenceError):
+            MGSolver(h).solve(rhs(17), iterations=1, target=1e-12)
+
+    def test_tiled_finest_resid_identical(self):
+        h = GridHierarchy(finest_level=4)
+        u1, _ = MGSolver(h).solve(rhs(17, 3), iterations=3)
+        u2, _ = MGSolver(h, resid_tile=(5, 4)).solve(rhs(17, 3),
+                                                     iterations=3)
+        assert np.array_equal(u1, u2)
+
+    def test_mg_beats_smoothing_alone(self):
+        """The V-cycle must out-converge pure finest-grid smoothing."""
+        from repro.kernels.mg_ops import psinv_op, resid_op, residual_norm
+
+        v = rhs(17, 4)
+        h = GridHierarchy(finest_level=4)
+        _, rep = MGSolver(h).solve(v, iterations=4)
+
+        u = np.zeros_like(v)
+        for _ in range(4):
+            psinv_op(resid_op(u, v), u)
+        smoother_norm = residual_norm(u, v)
+        assert rep.final_norm < smoother_norm
+
+    def test_op_counts_recorded(self):
+        h = GridHierarchy(finest_level=4)
+        solver = MGSolver(h)
+        solver.solve(rhs(17), iterations=2)
+        ops = solver.ops
+        # Finest level: initial resid + 2 per iteration (vcycle + check).
+        assert ops.counts[4]["resid"] == 1 + 2 * 2
+        assert ops.counts[4]["psinv"] == 2
+        assert ops.counts[2]["psinv"] == 2  # coarsest solve per cycle
+        assert ops.total("rprj3") == 2 * (len(h.levels) - 1)
+
+    def test_shape_validation(self):
+        h = GridHierarchy(finest_level=4)
+        with pytest.raises(ConfigurationError):
+            MGSolver(h).solve(np.zeros((9, 9, 9)))
+        with pytest.raises(ConfigurationError):
+            MGSolver(h).vcycle(np.zeros((9, 9, 9)), np.zeros((9, 9, 9)))
+
+    def test_warm_start(self):
+        h = GridHierarchy(finest_level=4)
+        v = rhs(17, 5)
+        u1, rep1 = MGSolver(h).solve(v, iterations=3)
+        u2, rep2 = MGSolver(h).solve(v, iterations=1, u0=u1)
+        assert rep2.final_norm < rep1.final_norm

@@ -1,0 +1,71 @@
+"""Tests for the analytic performance model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel import (
+    MachineModel,
+    PerfEstimate,
+    RunCounts,
+    ULTRASPARC2_360,
+    ULTRASPARC2_450,
+    predict,
+)
+
+
+def counts(l1=0, l2=0, tiles=1):
+    return RunCounts(iterations=1000, flops=6000, refs=7000,
+                     l1_misses=l1, l2_misses=l2, tiles=tiles)
+
+
+class TestMachineModel:
+    def test_presets(self):
+        assert ULTRASPARC2_360.clock_hz == 360e6
+        assert ULTRASPARC2_450.clock_hz == 450e6
+
+    def test_seconds(self):
+        assert ULTRASPARC2_360.seconds(360e6) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel(name="x", clock_hz=0)
+        with pytest.raises(ConfigurationError):
+            MachineModel(name="x", clock_hz=1e6, l1_miss_cycles=-1)
+
+
+class TestPredict:
+    def test_more_misses_slower(self):
+        fast = predict(counts(l1=0), ULTRASPARC2_360)
+        slow = predict(counts(l1=5000), ULTRASPARC2_360)
+        assert slow.seconds > fast.seconds
+        assert slow.mflops < fast.mflops
+
+    def test_l2_misses_cost_more(self):
+        l1 = predict(counts(l1=100), ULTRASPARC2_360)
+        l2 = predict(counts(l2=100), ULTRASPARC2_360)
+        assert l2.seconds > l1.seconds
+
+    def test_faster_clock_wins(self):
+        c = counts(l1=500, l2=100)
+        assert (predict(c, ULTRASPARC2_450).mflops >
+                predict(c, ULTRASPARC2_360).mflops)
+
+    def test_tile_overhead(self):
+        few = predict(counts(tiles=1), ULTRASPARC2_360)
+        many = predict(counts(tiles=1000), ULTRASPARC2_360)
+        assert many.seconds > few.seconds
+
+    def test_stall_fraction(self):
+        none = predict(counts(), ULTRASPARC2_360)
+        assert none.stall_fraction == 0.0
+        stalled = predict(counts(l1=100000, l2=100000), ULTRASPARC2_360)
+        assert 0.5 < stalled.stall_fraction < 1.0
+
+    def test_mflops_definition(self):
+        est = predict(counts(), ULTRASPARC2_360)
+        assert est.mflops == pytest.approx(6000 / est.seconds / 1e6)
+
+    def test_counts_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunCounts(iterations=-1, flops=0, refs=0, l1_misses=0,
+                      l2_misses=0)

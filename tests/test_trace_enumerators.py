@@ -1,0 +1,188 @@
+"""Tests for the vectorized iteration enumerators.
+
+Each fast enumerator is checked against a straightforward scalar
+re-implementation of the paper's Fortran loops (Figures 3, 6, 12), in
+exact order.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceError
+from repro.trace import enumerators as en
+
+
+def flatten(chunks):
+    out = []
+    for i, j, k in chunks:
+        out.extend(zip(i.tolist(), j.tolist(), k.tolist()))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# scalar references (direct transliterations of the paper's Fortran)
+# ---------------------------------------------------------------------------
+
+def scalar_untiled(n, nk):
+    return [(i, j, k)
+            for k in range(2, nk)
+            for j in range(2, n)
+            for i in range(2, n)]
+
+
+def scalar_tiled(n, ti, tj, nk):
+    out = []
+    for jj in range(2, n, tj):
+        for ii in range(2, n, ti):
+            for k in range(2, nk):
+                for j in range(jj, min(jj + tj - 1, n - 1) + 1):
+                    for i in range(ii, min(ii + ti - 1, n - 1) + 1):
+                        out.append((i, j, k))
+    return out
+
+
+def scalar_tiled3(n, ti, tj, tk, nk):
+    out = []
+    for kk in range(2, nk, tk):
+        for jj in range(2, n, tj):
+            for ii in range(2, n, ti):
+                for k in range(kk, min(kk + tk - 1, nk - 1) + 1):
+                    for j in range(jj, min(jj + tj - 1, n - 1) + 1):
+                        for i in range(ii, min(ii + ti - 1, n - 1) + 1):
+                            out.append((i, j, k))
+    return out
+
+
+def scalar_rb_naive(n, nk):
+    out = []
+    for odd in (0, 1):
+        for k in range(2, nk):
+            for j in range(2, n):
+                for i in range(2 + (k + j + odd) % 2, n, 2):
+                    out.append((i, j, k))
+    return out
+
+
+def scalar_rb_fused(n, nk):
+    out = []
+    for kk in range(1, nk):
+        for k in (kk + 1, kk):
+            if not (2 <= k <= nk - 1):
+                continue
+            for j in range(2, n):
+                for i in range(2 + (kk + j + 1) % 2, n, 2):
+                    out.append((i, j, k))
+    return out
+
+
+def scalar_rb_tiled(n, ti, tj, nk):
+    out = []
+    for jj in range(1, n, tj):
+        for ii in range(1, n, ti):
+            for kk in range(1, nk):
+                for k in (kk + 1, kk):
+                    if not (2 <= k <= nk - 1):
+                        continue
+                    for j in range(max(jj + k - kk, 2),
+                                   min(jj + k - kk + tj - 1, n - 1) + 1):
+                        istart = ii + k - kk
+                        istart = istart + (kk + j + istart + 1) % 2
+                        if istart == 1:
+                            istart = 3
+                        for i in range(istart,
+                                       min(ii + k - kk + ti - 1, n - 1) + 1,
+                                       2):
+                            out.append((i, j, k))
+    return out
+
+
+# ---------------------------------------------------------------------------
+
+class TestAgainstScalar:
+    @given(n=st.integers(3, 14), nk=st.integers(3, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_untiled(self, n, nk):
+        assert flatten(en.untiled_3d(n, nk)) == scalar_untiled(n, nk)
+
+    @given(n=st.integers(3, 14), nk=st.integers(3, 9),
+           ti=st.integers(1, 6), tj=st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_tiled(self, n, nk, ti, tj):
+        assert (flatten(en.tiled_3d(n, ti, tj, nk)) ==
+                scalar_tiled(n, ti, tj, nk))
+
+    @given(n=st.integers(3, 12), nk=st.integers(3, 9),
+           ti=st.integers(1, 5), tj=st.integers(1, 5), tk=st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_tiled3(self, n, nk, ti, tj, tk):
+        assert (flatten(en.tiled_3loop(n, ti, tj, tk, nk)) ==
+                scalar_tiled3(n, ti, tj, tk, nk))
+
+    @given(n=st.integers(3, 14), nk=st.integers(3, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_rb_naive(self, n, nk):
+        assert flatten(en.redblack_naive(n, nk)) == scalar_rb_naive(n, nk)
+
+    @given(n=st.integers(3, 14), nk=st.integers(3, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_rb_fused(self, n, nk):
+        assert flatten(en.redblack_fused(n, nk)) == scalar_rb_fused(n, nk)
+
+    @given(n=st.integers(3, 13), nk=st.integers(3, 9),
+           ti=st.integers(1, 6), tj=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_rb_tiled(self, n, nk, ti, tj):
+        assert (flatten(en.redblack_tiled(n, ti, tj, nk)) ==
+                scalar_rb_tiled(n, ti, tj, nk))
+
+
+class TestCoverage:
+    @given(n=st.integers(4, 12), nk=st.integers(4, 9),
+           ti=st.integers(1, 5), tj=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_tiled_covers_untiled(self, n, nk, ti, tj):
+        assert (sorted(flatten(en.tiled_3d(n, ti, tj, nk))) ==
+                sorted(flatten(en.untiled_3d(n, nk))))
+
+    @given(n=st.integers(4, 12), nk=st.integers(4, 9),
+           ti=st.integers(1, 5), tj=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_rb_schedules_cover_same_points(self, n, nk, ti, tj):
+        naive = sorted(flatten(en.redblack_naive(n, nk)))
+        fused = sorted(flatten(en.redblack_fused(n, nk)))
+        tiled = sorted(flatten(en.redblack_tiled(n, ti, tj, nk)))
+        assert naive == fused == tiled
+        # Every interior point exactly once.
+        assert len(naive) == (n - 2) ** 2 * (nk - 2)
+        assert len(set(naive)) == len(naive)
+
+    def test_red_before_black_per_plane(self):
+        """In the naive schedule all red of a plane precede its black."""
+        pts = flatten(en.redblack_naive(8, 6))
+        first_black = {}
+        last_red = {}
+        for t, (i, j, k) in enumerate(pts):
+            if (i + j + k) % 2 == 0:
+                last_red[k] = t
+            else:
+                first_black.setdefault(k, t)
+        for k, t_red in last_red.items():
+            assert t_red < first_black[k]
+
+
+class TestValidation:
+    def test_size_checks(self):
+        with pytest.raises(TraceError):
+            list(en.untiled_3d(2))
+        with pytest.raises(TraceError):
+            list(en.tiled_3d(10, 0, 3))
+        with pytest.raises(TraceError):
+            list(en.redblack_tiled(10, 3, 0))
+        with pytest.raises(TraceError):
+            list(en.tiled_3loop(10, 1, 1, 0))
+
+    def test_chunks_are_int64(self):
+        for i, j, k in en.tiled_3d(8, 3, 3, 6):
+            assert i.dtype == np.int64 and j.dtype == np.int64
+            assert k.dtype == np.int64

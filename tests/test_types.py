@@ -1,0 +1,61 @@
+"""Tests for the shared value types."""
+
+import pytest
+
+from repro.types import ArrayTile, PadResult, SelectionResult, TileSize
+
+
+class TestTileSize:
+    def test_basic(self):
+        t = TileSize(22, 13)
+        assert t.iterations == 286
+        assert t.as_tuple() == (22, 13)
+
+    @pytest.mark.parametrize("ti,tj", [(0, 1), (1, 0), (-3, 5)])
+    def test_rejects_nonpositive(self, ti, tj):
+        with pytest.raises(ValueError):
+            TileSize(ti, tj)
+
+    def test_equality_and_hash(self):
+        assert TileSize(3, 4) == TileSize(3, 4)
+        assert len({TileSize(3, 4), TileSize(3, 4), TileSize(4, 3)}) == 2
+
+
+class TestArrayTile:
+    def test_footprint(self):
+        assert ArrayTile(24, 15, 3).footprint == 24 * 15 * 3
+
+    def test_trim(self):
+        assert ArrayTile(24, 15, 3).trimmed(2, 2) == TileSize(22, 13)
+
+    def test_trim_discards_degenerate(self):
+        assert ArrayTile(2, 15, 3).trimmed(2, 2) is None
+        assert ArrayTile(24, 2, 3).trimmed(2, 2) is None
+        assert ArrayTile(2, 2, 1).trimmed(1, 1) == TileSize(1, 1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ArrayTile(0, 1, 1)
+
+
+class TestPadResult:
+    def test_pads(self):
+        r = PadResult(tile=TileSize(30, 14), di=250, dj=250,
+                      di_p=288, dj_p=272)
+        assert r.pad_i == 38 and r.pad_j == 22
+
+    def test_memory_overhead(self):
+        r = PadResult(tile=TileSize(1, 1), di=100, dj=100,
+                      di_p=110, dj_p=100)
+        assert r.memory_overhead(dk=30) == pytest.approx(0.10)
+
+    def test_rejects_shrinking(self):
+        with pytest.raises(ValueError):
+            PadResult(tile=TileSize(1, 1), di=100, dj=100,
+                      di_p=99, dj_p=100)
+
+
+class TestSelectionResult:
+    def test_tiled_flag(self):
+        assert not SelectionResult("Orig", None, 10, 10).tiled
+        assert SelectionResult("Tile", TileSize(2, 2), 10, 10).tiled
