@@ -16,6 +16,7 @@ import pathlib
 import pytest
 
 from repro.experiments.config import ExperimentConfig
+from repro.resilience.atomic import atomic_write_text
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
@@ -33,6 +34,11 @@ def cfg() -> ExperimentConfig:
 
 
 def emit(out_dir: pathlib.Path, name: str, text: str) -> None:
-    """Write a rendered experiment to disk and stdout."""
-    (out_dir / f"{name}.txt").write_text(text + "\n")
+    """Write a rendered experiment to disk (atomically) and stdout.
+
+    Atomic replace means an interrupted benchmark run leaves either the
+    previous table or the new one in ``benchmarks/out/`` — never a
+    truncated artifact.
+    """
+    atomic_write_text(out_dir / f"{name}.txt", text + "\n")
     print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")

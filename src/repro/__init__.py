@@ -44,6 +44,7 @@ from repro.multigrid import GridHierarchy, MGSolver
 from repro.perfmodel import MachineModel, ULTRASPARC2_360, ULTRASPARC2_450
 from repro.experiments import ExperimentConfig
 from repro.experiments.runner import run_point as simulate_kernel
+from repro.resilience import CheckpointJournal, PointBudget
 
 __version__ = "1.0.0"
 
@@ -52,6 +53,8 @@ __all__ = [
     "ArrayTile",
     "CacheHierarchy",
     "CacheParams",
+    "CheckpointJournal",
+    "PointBudget",
     "DirectMappedCache",
     "ExperimentConfig",
     "GridHierarchy",

@@ -5,14 +5,19 @@ Exposes the library's main entry points without writing any Python:
     python -m repro select --strategy GcdPad --n 300
     python -m repro simulate --kernel JACOBI --strategy Pad --n 250
     python -m repro table1
-    python -m repro table3 [--full]
-    python -m repro figures --kernel REDBLACK [--full]
+    python -m repro table3 [--full] [--checkpoint PATH] [--budget SEC]
+    python -m repro figures --kernel REDBLACK [--full] [--checkpoint PATH]
     python -m repro fig22
     python -m repro mgrid [--level 7]
     python -m repro section1
 
 ``--full`` switches to the paper's sweep density (equivalent to setting
-``REPRO_FULL=1``).
+``REPRO_FULL=1``). The sweep commands (``table3``, ``figures``) accept
+``--checkpoint PATH`` to journal completed points and resume after an
+interruption, ``--resume`` to insist the journal already exists, and
+``--budget SECONDS`` to cap each point's exact simulation (over-budget
+points degrade to the analytic miss model and are flagged in the
+output). Usage errors exit with code 2 and a one-line message.
 """
 
 from __future__ import annotations
@@ -35,6 +40,20 @@ def build_parser() -> argparse.ArgumentParser:
     def add_full(sp):
         sp.add_argument("--full", action="store_true",
                         help="paper-density sweeps (sets REPRO_FULL=1)")
+
+    def add_resilience(sp):
+        sp.add_argument("--checkpoint", metavar="PATH",
+                        help="journal completed points to PATH (JSONL); "
+                             "re-running with the same PATH resumes, "
+                             "skipping journaled points")
+        sp.add_argument("--resume", action="store_true",
+                        help="require that --checkpoint already exists "
+                             "(guards against typos silently starting "
+                             "a fresh sweep)")
+        sp.add_argument("--budget", type=float, metavar="SECONDS",
+                        help="per-point wall-clock budget; over-budget "
+                             "points degrade to the analytic miss model "
+                             "and are marked degraded")
 
     sp = sub.add_parser("select", help="run one tile-selection strategy")
     sp.add_argument("--strategy", default="GcdPad")
@@ -59,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--csv", metavar="PATH",
                     help="also dump all simulated points as CSV")
     add_full(sp)
+    add_resilience(sp)
 
     sp = sub.add_parser("figures", help="Figures 14-19 series for a kernel")
     sp.add_argument("--kernel", default="JACOBI",
@@ -66,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--csv", metavar="PATH",
                     help="also dump the series points as CSV")
     add_full(sp)
+    add_resilience(sp)
 
     sp = sub.add_parser("fig22", help="Figure 22: padding memory overhead")
     add_full(sp)
@@ -83,6 +104,54 @@ def _apply_full(args) -> None:
         os.environ["REPRO_FULL"] = "1"
 
 
+def _validate(args) -> None:
+    """Reject bad inputs with one-line errors before any work starts.
+
+    Raises :class:`~repro.errors.ReproError`; :func:`main` converts
+    that into a one-line stderr message and exit code 2 (argparse's own
+    convention for usage errors) instead of a traceback.
+    """
+    from repro.errors import ConfigurationError, ExperimentError
+
+    if getattr(args, "n", None) is not None and args.n <= 0:
+        raise ConfigurationError(f"--n must be positive, got {args.n}")
+    if args.command == "mgrid" and not 2 <= args.level <= 10:
+        raise ConfigurationError(
+            f"--level must be in 2..10 (grid 5^3 .. 1025^3), "
+            f"got {args.level}")
+    if args.command in ("select", "simulate"):
+        from repro.core.selector import STRATEGIES
+
+        if args.strategy not in STRATEGIES:
+            raise ConfigurationError(
+                f"unknown strategy {args.strategy!r}; "
+                f"valid: {', '.join(sorted(STRATEGIES))}")
+    if getattr(args, "resume", False):
+        if not getattr(args, "checkpoint", None):
+            raise ExperimentError("--resume requires --checkpoint PATH")
+        import pathlib
+
+        if not pathlib.Path(args.checkpoint).exists():
+            raise ExperimentError(
+                f"--resume: checkpoint {args.checkpoint} does not exist; "
+                f"drop --resume to start a fresh journaled sweep")
+    if getattr(args, "budget", None) is not None and args.budget <= 0:
+        raise ConfigurationError(
+            f"--budget must be positive seconds, got {args.budget}")
+
+
+def _resilience_kwargs(args) -> dict:
+    """checkpoint/budget keywords for table3()/figure_series()."""
+    kwargs: dict = {}
+    if getattr(args, "checkpoint", None):
+        kwargs["checkpoint"] = args.checkpoint
+    if getattr(args, "budget", None):
+        from repro.resilience import PointBudget
+
+        kwargs["budget"] = PointBudget(wall_seconds=args.budget)
+    return kwargs
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     try:
         return _run(argv)
@@ -93,11 +162,19 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except Exception as exc:
+        from repro.errors import ReproError
+
+        if not isinstance(exc, ReproError):
+            raise
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _run(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _apply_full(args)
+    _validate(args)
 
     # Imports happen after REPRO_FULL is set so configs pick it up.
     if args.command == "select":
@@ -134,7 +211,7 @@ def _run(argv: Sequence[str] | None = None) -> int:
     elif args.command == "table3":
         from repro.experiments.table3 import format_table3, table3
 
-        res = table3()
+        res = table3(**_resilience_kwargs(args))
         print(format_table3(res))
         if args.csv:
             from repro.experiments.export import write_points_csv
@@ -147,7 +224,7 @@ def _run(argv: Sequence[str] | None = None) -> int:
     elif args.command == "figures":
         from repro.experiments.figures import figure_series, format_figure
 
-        data = figure_series(args.kernel)
+        data = figure_series(args.kernel, **_resilience_kwargs(args))
         print(format_figure(data, "l1_rate", "L1 miss rate (%)"))
         print()
         print(format_figure(data, "mflops", "MFlops"))

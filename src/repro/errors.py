@@ -44,5 +44,29 @@ class ExperimentError(ReproError):
     """An experiment harness was misconfigured or produced no data."""
 
 
+class RetryableError(ReproError):
+    """A transient failure; the operation may succeed if retried.
+
+    Raised (or injected) for failures that are plausibly environmental —
+    an interrupted trace generation, a flaky I/O layer — as opposed to
+    deterministic configuration errors, which retrying cannot fix.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """A per-point execution budget (wall clock or trace length) ran out.
+
+    Not retryable by definition: re-running the same exact simulation
+    would exceed the same budget. Callers degrade to the analytic model
+    instead (see :mod:`repro.experiments.runner`).
+    """
+
+
+class CheckpointError(ExperimentError):
+    """A checkpoint journal is unusable: missing header, corrupted
+    beyond the recoverable trailing line, or written under a different
+    configuration fingerprint than the resuming run's."""
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to reach its convergence target."""

@@ -17,14 +17,26 @@ Results are memoized per process so benches can share sweeps.
 """
 
 from repro.experiments.config import ExperimentConfig, default_sizes
-from repro.experiments.runner import PointResult, run_point, sweep
+from repro.experiments.runner import (
+    PointResult,
+    open_journal,
+    run_point,
+    run_point_analytic,
+    run_point_resilient,
+    sweep,
+)
 from repro.experiments.transforms_table import TRANSFORMS, PAPER_STRATEGIES
+from repro.resilience import PointBudget
 
 __all__ = [
     "ExperimentConfig",
     "default_sizes",
+    "PointBudget",
     "PointResult",
+    "open_journal",
     "run_point",
+    "run_point_analytic",
+    "run_point_resilient",
     "sweep",
     "TRANSFORMS",
     "PAPER_STRATEGIES",

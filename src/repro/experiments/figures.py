@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentConfig, default_sizes
-from repro.experiments.report import format_series
+from repro.experiments.report import format_series, provenance_note
 from repro.experiments.runner import PointResult, sweep
 from repro.perfmodel.machine import ULTRASPARC2_450
 
@@ -45,13 +45,19 @@ class FigureData:
 
 
 def figure_series(kernel: str, sizes: list[int] | None = None,
-                  cfg: ExperimentConfig | None = None) -> FigureData:
-    """Miss-rate and MFlops series for Figures 14-19."""
+                  cfg: ExperimentConfig | None = None,
+                  checkpoint=None, budget=None) -> FigureData:
+    """Miss-rate and MFlops series for Figures 14-19.
+
+    ``checkpoint``/``budget`` run the sweep resiliently (resume after
+    interruption, degrade over-budget points to the analytic model).
+    """
     cfg = cfg or ExperimentConfig()
     sizes = sizes or default_sizes()
     strategies = ["Orig", "Tile", "Euc3D", "GcdPad", "Pad", "GcdPadNT"]
     return FigureData(kernel=kernel, sizes=sizes,
-                      points=sweep(kernel, strategies, sizes, cfg))
+                      points=sweep(kernel, strategies, sizes, cfg,
+                                   checkpoint=checkpoint, budget=budget))
 
 
 def large_resid_series(sizes: list[int] | None = None,
@@ -72,4 +78,7 @@ def format_figure(data: FigureData, metric: str, label: str) -> str:
         parts.append(format_series(
             f"{data.kernel} {label} — graph {gi} ({' vs '.join(group)})",
             "N", data.sizes, sel))
+    note = provenance_note(p for pts in data.points.values() for p in pts)
+    if note:
+        parts.append(note)
     return "\n\n".join(parts)

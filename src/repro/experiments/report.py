@@ -4,7 +4,27 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-__all__ = ["format_table", "format_series"]
+__all__ = ["format_table", "format_series", "provenance_note"]
+
+
+def provenance_note(points: Iterable) -> str:
+    """One-line provenance footnote when results mix exact and modeled.
+
+    Resilient sweeps degrade over-budget points to the analytical miss
+    model (``PointResult.degraded``); any table or series built from
+    such points must say so — an empty string means everything shown is
+    an exact simulation.
+    """
+    points = list(points)
+    degraded = [p for p in points if getattr(p, "degraded", False)]
+    if not degraded:
+        return ""
+    worst = ", ".join(sorted({f"{p.kernel}/{p.strategy}@N={p.n}"
+                              for p in degraded})[:5])
+    more = len(degraded) - min(len(degraded), 5)
+    suffix = f" (+{more} more)" if more > 0 else ""
+    return (f"[degraded] {len(degraded)}/{len(points)} points are analytic-"
+            f"model estimates, not exact simulations: {worst}{suffix}")
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence],

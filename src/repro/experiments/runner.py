@@ -11,23 +11,61 @@ Pipeline per point:
 
 Results are memoized per process (keyed by the full configuration) so
 that Table 3 and the per-figure benches share sweeps within a session.
+The memo is bounded (``REPRO_POINT_CACHE`` entries, default 4096 —
+roughly 1 KB each, comfortably above a full paper-density sweep's ~900
+points) so week-long sweeps cannot grow RSS without bound; inspect it
+with :func:`cache_info`.
+
+Resilient execution (:func:`run_point_resilient`, threaded through
+:func:`sweep` via ``checkpoint=``/``budget=``) adds the production-run
+behaviours on top:
+
+* completed points are journaled to a fingerprinted JSONL checkpoint
+  (:mod:`repro.resilience.checkpoint`); a re-run skips them, so a crash
+  mid-sweep loses at most the point in flight;
+* each point runs under a :class:`~repro.resilience.budget.PointBudget`
+  — transient (:class:`~repro.errors.RetryableError`) failures are
+  retried with backoff, and a point that exceeds its wall-clock or
+  trace-length budget **degrades** to the analytical miss model
+  (:mod:`repro.core.missmodel`) instead of failing the sweep. Degraded
+  points carry ``degraded=True`` so reports and CSV exports keep exact
+  and modeled numbers distinguishable.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import os
+import time
+from dataclasses import asdict, dataclass
 from functools import lru_cache
 
 from repro.cache.hierarchy import CacheHierarchy
+from repro.core.missmodel import tiled_miss_rate, untiled_miss_rate
 from repro.core.selector import select
-from repro.errors import ExperimentError
+from repro.errors import (
+    BudgetExceededError,
+    CheckpointError,
+    ExperimentError,
+    RetryableError,
+)
 from repro.experiments.config import ExperimentConfig
+from repro.ir.stencil import JACOBI_3D, REDBLACK_6PT, RESID_27PT
 from repro.kernels import KERNELS, Schedule
 from repro.perfmodel.model import RunCounts, predict
+from repro.resilience import (
+    CheckpointJournal,
+    Deadline,
+    PointBudget,
+    fingerprint,
+    run_with_retries,
+)
+from repro.resilience import faults
 from repro.types import SelectionResult
 
-__all__ = ["PointResult", "run_point", "sweep", "clear_cache"]
+__all__ = ["PointResult", "run_point", "run_point_analytic",
+           "run_point_resilient", "sweep", "open_journal",
+           "config_fingerprint", "clear_cache", "cache_info"]
 
 
 @dataclass(frozen=True)
@@ -48,10 +86,22 @@ class PointResult:
     tile: tuple[int, int] | None
     di_p: int
     dj_p: int
+    #: True when the point came from the analytical miss model (budget
+    #: exceeded / retries exhausted) rather than exact trace simulation.
+    degraded: bool = False
 
     @property
     def padded(self) -> bool:
         return self.di_p > self.n or self.dj_p > self.n
+
+
+def _kernel_cls(kernel_name: str):
+    try:
+        return KERNELS[kernel_name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown kernel {kernel_name!r}; valid: {sorted(KERNELS)}"
+        ) from None
 
 
 def _schedule_for(strategy: str, kernel: str,
@@ -75,23 +125,25 @@ def _tile_count(kernel, sel: SelectionResult, schedule: Schedule) -> int:
     return max(1, tiles)
 
 
-@lru_cache(maxsize=None)
-def _run_point_cached(kernel_name: str, strategy: str, n: int,
-                      cfg: ExperimentConfig) -> PointResult:
-    try:
-        kernel_cls = KERNELS[kernel_name]
-    except KeyError:
-        raise ExperimentError(
-            f"unknown kernel {kernel_name!r}; valid: {sorted(KERNELS)}"
-        ) from None
-    kern = kernel_cls(n, cfg.nk, elem_bytes=cfg.elem_bytes)
+def _simulate_exact(kernel_name: str, strategy: str, n: int,
+                    cfg: ExperimentConfig,
+                    budget: PointBudget | None = None,
+                    clock=time.monotonic) -> PointResult:
+    """One exact trace simulation, optionally under a budget's deadline."""
+    faults.tick("simulate")
+    kern = _kernel_cls(kernel_name)(n, cfg.nk, elem_bytes=cfg.elem_bytes)
     meta = kern.meta
     sel = select(strategy, cfg.cs, n, n, mi=meta.mi, mj=meta.mj, atd=meta.atd)
     schedule = _schedule_for(strategy, kernel_name, sel)
 
+    deadline = (Deadline(budget, clock)
+                if budget is not None and budget.bounded else None)
     hier = CacheHierarchy(cfg.levels)
     inter_pad = cfg.cs if cfg.inter_pad else None
     for addrs, w in kern.trace(sel, schedule, inter_pad_cache=inter_pad):
+        faults.tick("chunk")
+        if deadline is not None:
+            deadline.check(len(addrs))
         hier.access(addrs, w)
     stats = hier.stats()
 
@@ -118,21 +170,213 @@ def _run_point_cached(kernel_name: str, strategy: str, n: int,
     )
 
 
+def _cache_size() -> int | None:
+    """Memo bound from ``REPRO_POINT_CACHE`` (<= 0 means unbounded)."""
+    try:
+        size = int(os.environ.get("REPRO_POINT_CACHE", "4096"))
+    except ValueError:
+        size = 4096
+    return size if size > 0 else None
+
+
+@lru_cache(maxsize=_cache_size())
+def _run_point_cached(kernel_name: str, strategy: str, n: int,
+                      cfg: ExperimentConfig) -> PointResult:
+    return _simulate_exact(kernel_name, strategy, n, cfg)
+
+
 def run_point(kernel: str, strategy: str, n: int,
               cfg: ExperimentConfig | None = None) -> PointResult:
     """Simulate one configuration (memoized)."""
     return _run_point_cached(kernel, strategy, n, cfg or ExperimentConfig())
 
 
-def sweep(kernel: str, strategies: list[str], sizes: list[int],
-          cfg: ExperimentConfig | None = None
-          ) -> dict[str, list[PointResult]]:
-    """Run a full (strategy x size) sweep for one kernel."""
+# ----------------------------------------------------------------------
+# analytic degradation
+# ----------------------------------------------------------------------
+
+#: Read-stencil pattern feeding the analytic model, per kernel.
+_STENCILS = {
+    "JACOBI": JACOBI_3D,
+    "REDBLACK": REDBLACK_6PT,
+    "RESID": RESID_27PT,
+    "PSINV": RESID_27PT,
+}
+
+
+def run_point_analytic(kernel: str, strategy: str, n: int,
+                       cfg: ExperimentConfig | None = None) -> PointResult:
+    """Estimate one configuration from the analytical miss model.
+
+    The capacity-only model of :mod:`repro.core.missmodel` stands in
+    for exact simulation when a point's budget ran out: untiled
+    schedules use the group-reuse/wrap condition on the *padded* column
+    stride, tiled schedules the Section 2.3 cost-per-line bound. The
+    result is marked ``degraded=True``; it tracks simulation within
+    ~15% at benign sizes and under-predicts conflict pathologies
+    (which is exactly the information an exact run would have added).
+    """
     cfg = cfg or ExperimentConfig()
-    return {s: [run_point(kernel, s, n, cfg) for n in sizes]
+    kern = _kernel_cls(kernel)(n, cfg.nk, elem_bytes=cfg.elem_bytes)
+    meta = kern.meta
+    sel = select(strategy, cfg.cs, n, n, mi=meta.mi, mj=meta.mj, atd=meta.atd)
+    schedule = _schedule_for(strategy, kernel, sel)
+    try:
+        stencil = _STENCILS[kernel]
+    except KeyError:
+        raise ExperimentError(
+            f"no analytic stencil model for kernel {kernel!r}; "
+            f"valid: {sorted(_STENCILS)}") from None
+
+    refs_per_iter = meta.reads + meta.writes
+    refs = kern.sweep_refs()
+
+    def rate_at(params) -> float:
+        line = params.line_elements()
+        capacity = params.capacity_elements(cfg.elem_bytes)
+        if sel.tiled:
+            pred = tiled_miss_rate(sel.tile.ti, sel.tile.tj, meta.mi,
+                                   meta.mj, line, refs_per_iter)
+        else:
+            pred = untiled_miss_rate(stencil.offsets, sel.di_p, capacity,
+                                     line, refs_per_iter)
+        return min(1.0, pred.miss_rate)
+
+    l1_rate = rate_at(cfg.l1)
+    l2_rate = min(rate_at(cfg.l2), l1_rate)
+    l1_misses = round(l1_rate * refs)
+    l2_misses = round(l2_rate * refs)
+
+    counts = RunCounts(
+        iterations=kern.interior_points(),
+        flops=kern.sweep_flops(),
+        refs=refs,
+        l1_misses=l1_misses,
+        l2_misses=l2_misses,
+        tiles=_tile_count(kern, sel, schedule),
+    )
+    perf = predict(counts, cfg.machine)
+
+    return PointResult(
+        kernel=kernel, strategy=strategy, n=n, nk=cfg.nk,
+        l1_rate=100.0 * l1_rate, l2_rate=100.0 * l2_rate,
+        l1_misses=l1_misses, l2_misses=l2_misses,
+        refs=refs, mflops=perf.mflops, seconds=perf.seconds,
+        tile=sel.tile.as_tuple() if sel.tile else None,
+        di_p=sel.di_p, dj_p=sel.dj_p,
+        degraded=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# resilient execution: checkpoints + budgets
+# ----------------------------------------------------------------------
+
+def config_fingerprint(cfg: ExperimentConfig) -> str:
+    """Fingerprint of everything that affects a point's numbers."""
+    import repro
+
+    return fingerprint({
+        "repro": repro.__version__,
+        "config": asdict(cfg),
+    })
+
+
+def open_journal(path, cfg: ExperimentConfig | None = None
+                 ) -> CheckpointJournal:
+    """Open/create a checkpoint journal bound to ``cfg``'s fingerprint.
+
+    Raises :class:`~repro.errors.CheckpointError` when ``path`` holds a
+    journal written under a different configuration.
+    """
+    return CheckpointJournal.open(
+        path, config_fingerprint(cfg or ExperimentConfig()))
+
+
+def _point_to_payload(p: PointResult) -> dict:
+    return asdict(p)
+
+
+def _point_from_payload(payload: dict) -> PointResult:
+    d = dict(payload)
+    if d.get("tile") is not None:
+        d["tile"] = tuple(d["tile"])
+    try:
+        return PointResult(**d)
+    except TypeError as exc:
+        raise CheckpointError(
+            f"checkpoint record does not match PointResult: {exc}"
+        ) from None
+
+
+def run_point_resilient(kernel: str, strategy: str, n: int,
+                        cfg: ExperimentConfig | None = None,
+                        budget: PointBudget | None = None,
+                        journal: CheckpointJournal | None = None
+                        ) -> PointResult:
+    """Simulate one configuration with checkpointing and degradation.
+
+    Order of business: a point already in the journal is returned
+    without re-simulating; otherwise the exact simulation runs under
+    ``budget`` (retryable failures are retried with backoff); if the
+    budget is exceeded or retries are exhausted the analytical model
+    supplies a ``degraded=True`` stand-in. Whatever was produced is
+    journaled before returning, so progress survives the next crash.
+    """
+    cfg = cfg or ExperimentConfig()
+    budget = budget or PointBudget()
+    key = (kernel, strategy, n)
+    if journal is not None:
+        payload = journal.get(key)
+        if payload is not None:
+            return _point_from_payload(payload)
+
+    clock = faults.active_clock()
+    try:
+        result = run_with_retries(
+            lambda: _simulate_exact(kernel, strategy, n, cfg,
+                                    budget=budget, clock=clock),
+            budget, sleep=faults.active_sleep())
+    except (BudgetExceededError, RetryableError):
+        result = run_point_analytic(kernel, strategy, n, cfg)
+
+    if journal is not None:
+        journal.record(key, _point_to_payload(result))
+    return result
+
+
+def sweep(kernel: str, strategies: list[str], sizes: list[int],
+          cfg: ExperimentConfig | None = None, *,
+          checkpoint: "str | os.PathLike | CheckpointJournal | None" = None,
+          budget: PointBudget | None = None
+          ) -> dict[str, list[PointResult]]:
+    """Run a full (strategy x size) sweep for one kernel.
+
+    With ``checkpoint`` (a journal path or an open
+    :class:`CheckpointJournal`) and/or ``budget`` set, points run
+    through :func:`run_point_resilient`: completed points are skipped
+    on resume and over-budget points degrade to the analytic model.
+    Without either, the fast memoized path is used unchanged.
+    """
+    cfg = cfg or ExperimentConfig()
+    if checkpoint is None and budget is None:
+        return {s: [run_point(kernel, s, n, cfg) for n in sizes]
+                for s in strategies}
+    journal: CheckpointJournal | None = None
+    if checkpoint is not None:
+        journal = (checkpoint if isinstance(checkpoint, CheckpointJournal)
+                   else open_journal(checkpoint, cfg))
+    return {s: [run_point_resilient(kernel, s, n, cfg,
+                                    budget=budget, journal=journal)
+                for n in sizes]
             for s in strategies}
 
 
 def clear_cache() -> None:
     """Drop memoized results (tests use this to force fresh runs)."""
     _run_point_cached.cache_clear()
+
+
+def cache_info():
+    """Memoization statistics (hits/misses/maxsize/currsize)."""
+    return _run_point_cached.cache_info()

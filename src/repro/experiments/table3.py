@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentConfig, default_sizes
-from repro.experiments.report import format_table
+from repro.experiments.report import format_table, provenance_note
 from repro.experiments.runner import PointResult, sweep
 from repro.experiments.transforms_table import PAPER_STRATEGIES
 
@@ -65,13 +65,27 @@ def summarize(kernel: str, results: dict[str, list[PointResult]]
 def table3(kernels: tuple[str, ...] = ("JACOBI", "REDBLACK", "RESID"),
            strategies: tuple[str, ...] = PAPER_STRATEGIES,
            sizes: list[int] | None = None,
-           cfg: ExperimentConfig | None = None) -> Table3Result:
+           cfg: ExperimentConfig | None = None,
+           checkpoint=None, budget=None) -> Table3Result:
+    """Table 3 sweep; ``checkpoint``/``budget`` enable resilient runs.
+
+    All kernels share one checkpoint journal (points are keyed by
+    kernel/strategy/size), so a resumed ``table3`` re-simulates only
+    what the previous run had not finished.
+    """
     cfg = cfg or ExperimentConfig()
     sizes = sizes or default_sizes()
+    if checkpoint is not None:
+        from repro.experiments.runner import open_journal
+        from repro.resilience import CheckpointJournal
+
+        if not isinstance(checkpoint, CheckpointJournal):
+            checkpoint = open_journal(checkpoint, cfg)
     points: dict[str, dict[str, list[PointResult]]] = {}
     summaries = []
     for kernel in kernels:
-        res = sweep(kernel, ["Orig", *strategies], sizes, cfg)
+        res = sweep(kernel, ["Orig", *strategies], sizes, cfg,
+                    checkpoint=checkpoint, budget=budget)
         points[kernel] = res
         summaries.append(summarize(kernel, res))
     return Table3Result(sizes=sizes, summaries=summaries, points=points)
@@ -93,4 +107,7 @@ def format_table3(res: Table3Result) -> str:
     title = (f"Table 3: average improvements over Orig, "
              f"N = {res.sizes[0]}..{res.sizes[-1]} "
              f"({len(res.sizes)} sizes, NK = interior planes per config)")
-    return format_table(headers, rows, title=title)
+    out = format_table(headers, rows, title=title)
+    note = provenance_note(p for k in res.points.values()
+                           for series in k.values() for p in series)
+    return out + "\n" + note if note else out

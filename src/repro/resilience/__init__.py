@@ -1,0 +1,36 @@
+"""Resilient execution of long experiment sweeps.
+
+The paper's evaluation is hours of exact cache simulation (three
+kernels x six strategies x dozens of sizes); production frameworks such
+as OPS treat runs of that shape as restartable, budgeted jobs. This
+package provides the three ingredients, independent of the experiment
+layer that wires them up (:mod:`repro.experiments.runner`):
+
+* :mod:`~repro.resilience.checkpoint` — a fingerprinted JSONL journal
+  of completed work units, written atomically, resumable after a crash;
+* :mod:`~repro.resilience.budget` — per-point wall-clock / trace-length
+  budgets plus bounded retry with exponential backoff;
+* :mod:`~repro.resilience.faults` — deterministic fault injection
+  (crash on the k-th simulation, stall past a deadline, corrupt a
+  journal) so the recovery paths are *proven* by tests, not assumed;
+* :mod:`~repro.resilience.atomic` — temp-file + ``os.replace`` writes
+  shared by every durable artifact the harness produces.
+"""
+
+from repro.resilience.atomic import atomic_write_text
+from repro.resilience.budget import Deadline, PointBudget, run_with_retries
+from repro.resilience.checkpoint import (
+    CheckpointJournal,
+    CheckpointWarning,
+    fingerprint,
+)
+
+__all__ = [
+    "atomic_write_text",
+    "CheckpointJournal",
+    "CheckpointWarning",
+    "Deadline",
+    "PointBudget",
+    "fingerprint",
+    "run_with_retries",
+]

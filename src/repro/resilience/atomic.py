@@ -1,0 +1,43 @@
+"""Atomic file writes: temp file in the target directory + ``os.replace``.
+
+POSIX ``rename(2)`` within one filesystem is atomic, so readers (and a
+process killed mid-write) observe either the old content or the new —
+never a half-written artifact. Every durable artifact this package
+produces (checkpoint journals, CSV exports, benchmark tables) funnels
+through here.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
+    """Write ``text`` to ``path`` atomically; returns the resolved path.
+
+    Parent directories are created as needed. The temporary file lives
+    next to the target (same filesystem, so the final ``os.replace`` is
+    a true atomic rename) and is fsync'd before the swap; on any
+    failure it is removed and the original file is left untouched.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=path.name + ".", suffix=".tmp",
+                               dir=path.parent)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

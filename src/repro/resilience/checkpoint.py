@@ -1,0 +1,176 @@
+"""Checkpoint journal: restartable progress for long experiment sweeps.
+
+A journal is a JSONL file. The first line is a header carrying a
+*configuration fingerprint* (a stable hash of everything that affects
+the numbers — cache geometry, machine model, K extent, package
+version); every following line records one completed unit of work as a
+``(key, payload)`` pair. A resuming run re-opens the journal, verifies
+the fingerprint, and skips keys that are already recorded — so a crash,
+OOM kill, or Ctrl-C mid-sweep loses at most the point in flight.
+
+Durability contract:
+
+* every mutation rewrites the whole journal to a temp file and
+  ``os.replace``s it into place (:mod:`repro.resilience.atomic`), so
+  the file on disk is always a valid prefix of the run;
+* a *trailing* malformed line (the classic kill-during-write artifact
+  on filesystems without atomic rename, or a truncated copy) is
+  recoverable: it is dropped with a :class:`CheckpointWarning` and the
+  corresponding point is simply re-run;
+* a malformed line in the *middle*, a missing/invalid header, or a
+  fingerprint mismatch raise :class:`repro.errors.CheckpointError` —
+  silently mixing results from different configurations would corrupt
+  the science.
+
+The journal is payload-agnostic (keys are tuples of JSON scalars,
+payloads JSON-serializable dicts); the experiment runner layers
+``PointResult`` (de)serialization on top.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import warnings
+from typing import Any, Iterable, Mapping
+
+from repro.errors import CheckpointError
+from repro.resilience.atomic import atomic_write_text
+
+__all__ = ["CheckpointJournal", "CheckpointWarning", "fingerprint"]
+
+_FORMAT_VERSION = 1
+
+
+class CheckpointWarning(UserWarning):
+    """A journal needed (successful) recovery — e.g. a truncated tail."""
+
+
+def fingerprint(payload: Mapping[str, Any]) -> str:
+    """Stable hex digest of a JSON-serializable configuration payload.
+
+    Key order does not matter; non-JSON values are stringified (their
+    ``repr`` participates in the hash, which is what frozen dataclass
+    configs want).
+    """
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _parse_lines(path: pathlib.Path) -> list[dict]:
+    """Parse journal lines, recovering from a malformed trailing line."""
+    raw = path.read_text().splitlines()
+    # Trailing blank lines are not corruption, just ignore them.
+    while raw and not raw[-1].strip():
+        raw.pop()
+    parsed: list[dict] = []
+    for i, line in enumerate(raw):
+        try:
+            obj = json.loads(line)
+            if not isinstance(obj, dict) or "kind" not in obj:
+                raise ValueError("not a journal record")
+        except ValueError as exc:
+            if i == len(raw) - 1:
+                warnings.warn(
+                    f"checkpoint {path}: dropping malformed trailing line "
+                    f"{i + 1} ({exc}); the interrupted point will be re-run",
+                    CheckpointWarning, stacklevel=3)
+                break
+            raise CheckpointError(
+                f"checkpoint {path} is corrupt at line {i + 1} "
+                f"(not the trailing line, cannot recover): {exc}") from None
+        parsed.append(obj)
+    return parsed
+
+
+class CheckpointJournal:
+    """Append-only journal of completed work units, keyed and fingerprinted.
+
+    Use :meth:`open` — the constructor is internal.
+    """
+
+    def __init__(self, path: pathlib.Path, fp: str,
+                 records: dict[tuple, dict]):
+        self._path = path
+        self._fingerprint = fp
+        self._records = records
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: str | pathlib.Path,
+             fp: str) -> "CheckpointJournal":
+        """Open (resuming) or create a journal bound to fingerprint ``fp``.
+
+        Raises :class:`CheckpointError` if an existing journal was
+        written under a different fingerprint or is unrecoverably
+        corrupt.
+        """
+        path = pathlib.Path(path)
+        if not path.exists():
+            journal = cls(path, fp, {})
+            journal._flush()
+            return journal
+
+        lines = _parse_lines(path)
+        if not lines:
+            # Recovered down to nothing (e.g. truncated header): start over.
+            journal = cls(path, fp, {})
+            journal._flush()
+            return journal
+        header = lines[0]
+        if header.get("kind") != "header":
+            raise CheckpointError(
+                f"checkpoint {path} has no header line; not a journal "
+                f"(or written by an incompatible version)")
+        if header.get("fingerprint") != fp:
+            raise CheckpointError(
+                f"checkpoint {path} was written under a different "
+                f"configuration (fingerprint {header.get('fingerprint')!r}, "
+                f"this run is {fp!r}); refusing to mix results — "
+                f"delete the file or match the original configuration")
+        records: dict[tuple, dict] = {}
+        for rec in lines[1:]:
+            if rec.get("kind") != "point" or "key" not in rec:
+                raise CheckpointError(
+                    f"checkpoint {path}: unexpected record kind "
+                    f"{rec.get('kind')!r}")
+            records[tuple(rec["key"])] = rec.get("payload", {})
+        return cls(path, fp, records)
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> pathlib.Path:
+        return self._path
+
+    @property
+    def fingerprint(self) -> str:
+        return self._fingerprint
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: Iterable) -> bool:
+        return tuple(key) in self._records
+
+    def get(self, key: Iterable) -> dict | None:
+        """Recorded payload for ``key``, or None if not yet journaled."""
+        return self._records.get(tuple(key))
+
+    def keys(self) -> list[tuple]:
+        return list(self._records)
+
+    def record(self, key: Iterable, payload: Mapping[str, Any]) -> None:
+        """Journal one completed unit of work (atomically durable)."""
+        self._records[tuple(key)] = dict(payload)
+        self._flush()
+
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        lines = [json.dumps({"kind": "header",
+                             "version": _FORMAT_VERSION,
+                             "fingerprint": self._fingerprint})]
+        for key, payload in self._records.items():
+            lines.append(json.dumps({"kind": "point", "key": list(key),
+                                     "payload": payload}))
+        atomic_write_text(self._path, "\n".join(lines) + "\n")

@@ -1,0 +1,164 @@
+"""Deterministic fault injection for resilience testing.
+
+Long sweeps fail in boring, reproducible ways: a process dies on the
+k-th simulation, a point stalls past its deadline, a checkpoint file is
+truncated by a power cut. This module scripts those failures exactly so
+tests can prove that resume-after-crash and budget-triggered
+degradation actually work — no monkeypatching of library internals, no
+timing races.
+
+The experiment runner calls :func:`tick` at two *sites*:
+
+* ``"simulate"`` — once at the start of every exact point simulation;
+* ``"chunk"`` — once per trace chunk inside a simulation.
+
+An installed :class:`FaultInjector` counts calls per site and fires the
+actions scheduled for that call index: raise an exception (a crash or a
+:class:`repro.errors.RetryableError`) or advance a :class:`FakeClock`
+(a stall, which the budget's deadline then converts into
+:class:`repro.errors.BudgetExceededError`). With no injector installed
+:func:`tick` is a no-op, so production sweeps pay one ``None`` check.
+
+:func:`corrupt_journal` mangles checkpoint files the way real crashes
+do (truncated trailing line, appended garbage, clobbered header) for
+the recovery tests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import pathlib
+import time
+from typing import Callable, Iterator
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FakeClock", "FaultInjector", "inject", "tick",
+           "active_clock", "active_sleep", "corrupt_journal"]
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock (starts at 0.0)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        """Drop-in for ``time.sleep`` that advances this clock instead."""
+        self.advance(seconds)
+
+
+class FaultInjector:
+    """Scripts exceptions and clock jumps at exact call indices.
+
+    Call indices are 1-based per site; an index can carry both a clock
+    advance and an exception (the advance fires first, mirroring a
+    process that stalls and *then* dies).
+    """
+
+    def __init__(self, clock: FakeClock | None = None):
+        self.clock = clock
+        self._counts: dict[str, int] = {}
+        self._raises: dict[tuple[str, int], Exception] = {}
+        self._advances: dict[tuple[str, int], float] = {}
+
+    # -- scheduling ----------------------------------------------------
+    def fail_on(self, site: str, call: int,
+                exc: Exception) -> "FaultInjector":
+        """Raise ``exc`` on the ``call``-th tick of ``site``."""
+        self._raises[(site, call)] = exc
+        return self
+
+    def advance_on(self, site: str, call: int,
+                   seconds: float) -> "FaultInjector":
+        """Jump the fake clock on the ``call``-th tick of ``site``."""
+        if self.clock is None:
+            raise ConfigurationError(
+                "advance_on requires a FaultInjector(clock=FakeClock())")
+        self._advances[(site, call)] = seconds
+        return self
+
+    # -- firing --------------------------------------------------------
+    def calls(self, site: str) -> int:
+        """How many times ``site`` has ticked."""
+        return self._counts.get(site, 0)
+
+    def tick(self, site: str) -> None:
+        k = self._counts.get(site, 0) + 1
+        self._counts[site] = k
+        jump = self._advances.get((site, k))
+        if jump is not None and self.clock is not None:
+            self.clock.advance(jump)
+        exc = self._raises.get((site, k))
+        if exc is not None:
+            raise exc
+
+
+_ACTIVE: FaultInjector | None = None
+
+
+@contextlib.contextmanager
+def inject(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Install ``injector`` for the duration of the ``with`` block."""
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = injector
+    try:
+        yield injector
+    finally:
+        _ACTIVE = prev
+
+
+def tick(site: str) -> None:
+    """Fire the active injector's actions for ``site`` (no-op if none)."""
+    if _ACTIVE is not None:
+        _ACTIVE.tick(site)
+
+
+def active_clock(default: Callable[[], float] = time.monotonic
+                 ) -> Callable[[], float]:
+    """The installed injector's fake clock, or ``default``."""
+    if _ACTIVE is not None and _ACTIVE.clock is not None:
+        return _ACTIVE.clock
+    return default
+
+
+def active_sleep(default: Callable[[float], None] = time.sleep
+                 ) -> Callable[[float], None]:
+    """A sleep matching :func:`active_clock` (fake time never blocks)."""
+    if _ACTIVE is not None and _ACTIVE.clock is not None:
+        return _ACTIVE.clock.sleep
+    return default
+
+
+def corrupt_journal(path: str | pathlib.Path,
+                    mode: str = "truncate") -> pathlib.Path:
+    """Damage a checkpoint journal the way real interruptions do.
+
+    ``truncate`` cuts the last line in half (kill during a non-atomic
+    write); ``garbage`` appends a non-JSON line; ``header`` clobbers
+    the first line. Returns the path.
+    """
+    path = pathlib.Path(path)
+    text = path.read_text()
+    if mode == "truncate":
+        lines = text.splitlines()
+        lines[-1] = lines[-1][: max(1, len(lines[-1]) // 2)]
+        path.write_text("\n".join(lines) + "\n")
+    elif mode == "garbage":
+        path.write_text(text + "!!! not json {{{" + "\n")
+    elif mode == "header":
+        lines = text.splitlines()
+        lines[0] = "corrupted header"
+        path.write_text("\n".join(lines) + "\n")
+    else:
+        raise ConfigurationError(
+            f"unknown corruption mode {mode!r}; "
+            f"valid: truncate, garbage, header")
+    return path

@@ -30,6 +30,57 @@ class TestParser:
         a = build_parser().parse_args(["table3", "--full"])
         assert a.full
 
+    def test_resilience_flags(self):
+        a = build_parser().parse_args(
+            ["table3", "--checkpoint", "out/t3.jsonl", "--resume",
+             "--budget", "2.5"])
+        assert a.checkpoint == "out/t3.jsonl" and a.resume
+        assert a.budget == 2.5
+        a = build_parser().parse_args(
+            ["figures", "--kernel", "RESID", "--checkpoint", "f.jsonl"])
+        assert a.checkpoint == "f.jsonl" and not a.resume
+
+
+class TestValidation:
+    """Usage errors exit 2 with a one-line stderr message, no traceback."""
+
+    def check(self, capsys, argv, match):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and match in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_nonpositive_n(self, capsys):
+        self.check(capsys, ["select", "--n", "0"], "--n must be positive")
+        self.check(capsys, ["simulate", "--kernel", "JACOBI", "--n", "-5"],
+                   "--n must be positive")
+
+    def test_unknown_strategy(self, capsys):
+        self.check(capsys, ["select", "--n", "40", "--strategy", "Bogus"],
+                   "unknown strategy")
+        self.check(capsys,
+                   ["simulate", "--kernel", "JACOBI", "--strategy", "Nope",
+                    "--n", "40"],
+                   "unknown strategy")
+
+    def test_out_of_range_level(self, capsys):
+        self.check(capsys, ["mgrid", "--level", "1"], "--level")
+        self.check(capsys, ["mgrid", "--level", "99"], "--level")
+
+    def test_resume_without_checkpoint(self, capsys):
+        self.check(capsys, ["table3", "--resume"],
+                   "--resume requires --checkpoint")
+
+    def test_resume_with_missing_checkpoint(self, capsys, tmp_path):
+        self.check(capsys,
+                   ["table3", "--resume", "--checkpoint",
+                    str(tmp_path / "nope.jsonl")],
+                   "does not exist")
+
+    def test_nonpositive_budget(self, capsys):
+        self.check(capsys, ["table3", "--budget", "0"],
+                   "--budget must be positive")
+
 
 class TestCommands:
     def test_select(self, capsys):

@@ -46,6 +46,19 @@ class TestRunner:
         c = run_point("JACOBI", "Orig", 40, tiny_config)
         assert c == a and c is not a
 
+    def test_memoization_is_bounded(self, tiny_config):
+        from repro.experiments.runner import cache_info
+
+        clear_cache()
+        run_point("JACOBI", "Orig", 40, tiny_config)
+        info = cache_info()
+        # Bounded (default REPRO_POINT_CACHE=4096), so week-long sweeps
+        # cannot grow RSS without bound; and the memo is actually used.
+        assert info.maxsize is not None and info.maxsize > 0
+        assert info.currsize >= 1
+        run_point("JACOBI", "Orig", 40, tiny_config)
+        assert cache_info().hits > info.hits
+
     def test_unknown_kernel(self, tiny_config):
         with pytest.raises(ExperimentError):
             run_point("NOPE", "Orig", 40, tiny_config)

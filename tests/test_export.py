@@ -38,3 +38,54 @@ class TestCsv:
     def test_missing_file(self, tmp_path):
         with pytest.raises(ExperimentError):
             read_points_csv(tmp_path / "nope.csv")
+
+    def test_degraded_column_roundtrip(self, tiny_config, tmp_path):
+        from repro.experiments.runner import run_point_analytic
+
+        pts = [run_point("JACOBI", "Orig", 40, tiny_config),
+               run_point_analytic("JACOBI", "GcdPad", 40, tiny_config)]
+        back = read_points_csv(write_points_csv(pts, tmp_path / "d.csv"))
+        assert [r["degraded"] for r in back] == [False, True]
+
+    def test_write_is_atomic_no_temp_leftover(self, points, tmp_path):
+        write_points_csv(points, tmp_path / "pts.csv")
+        assert [f.name for f in tmp_path.iterdir()] == ["pts.csv"]
+
+    def test_write_replaces_existing_content(self, points, tmp_path):
+        path = tmp_path / "pts.csv"
+        path.write_text("stale partial artifa")
+        write_points_csv(points, path)
+        assert path.read_text().startswith("kernel,strategy,")
+
+
+class TestHardenedRead:
+    def test_missing_columns(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("kernel,strategy,n\nJACOBI,Orig,40\n")
+        with pytest.raises(ExperimentError, match="missing column"):
+            read_points_csv(p)
+
+    def test_malformed_numeric_cell_names_row(self, points, tmp_path):
+        path = write_points_csv(points, tmp_path / "pts.csv")
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2].replace("JACOBI,GcdPad,40", "JACOBI,GcdPad,oops")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ExperimentError, match="row 3"):
+            read_points_csv(path)
+
+    def test_truncated_row_is_an_error_not_keyerror(self, points, tmp_path):
+        path = write_points_csv(points, tmp_path / "pts.csv")
+        lines = path.read_text().splitlines()
+        lines[-1] = "JACOBI,GcdPad,40"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ExperimentError, match="missing column"):
+            read_points_csv(path)
+
+    def test_legacy_file_without_degraded_reads_false(self, points,
+                                                      tmp_path):
+        path = write_points_csv(points, tmp_path / "pts.csv")
+        lines = path.read_text().splitlines()
+        stripped = [",".join(line.split(",")[:-1]) for line in lines]
+        path.write_text("\n".join(stripped) + "\n")
+        back = read_points_csv(path)
+        assert all(r["degraded"] is False for r in back)

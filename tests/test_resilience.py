@@ -1,0 +1,263 @@
+"""Unit tests for the resilience primitives (journal, budget, faults)."""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    BudgetExceededError,
+    CheckpointError,
+    ConfigurationError,
+    RetryableError,
+)
+from repro.resilience import (
+    CheckpointJournal,
+    CheckpointWarning,
+    Deadline,
+    PointBudget,
+    atomic_write_text,
+    fingerprint,
+    run_with_retries,
+)
+from repro.resilience import faults
+
+
+class TestAtomicWrite:
+    def test_creates_parents_and_writes(self, tmp_path):
+        p = atomic_write_text(tmp_path / "a" / "b" / "f.txt", "hello")
+        assert p.read_text() == "hello"
+
+    def test_replaces_existing(self, tmp_path):
+        p = tmp_path / "f.txt"
+        atomic_write_text(p, "old")
+        atomic_write_text(p, "new")
+        assert p.read_text() == "new"
+
+    def test_no_temp_leftovers(self, tmp_path):
+        atomic_write_text(tmp_path / "f.txt", "x")
+        assert [f.name for f in tmp_path.iterdir()] == ["f.txt"]
+
+
+class TestFingerprint:
+    def test_key_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_non_json_values_stringified(self):
+        assert fingerprint({"x": object}) == fingerprint({"x": object})
+
+
+class TestJournal:
+    FP = "cafe" * 16
+
+    def test_create_and_record(self, tmp_path):
+        j = CheckpointJournal.open(tmp_path / "j.jsonl", self.FP)
+        assert len(j) == 0 and j.get(("K", "S", 1)) is None
+        j.record(("K", "S", 1), {"value": 42})
+        assert ("K", "S", 1) in j
+        assert j.get(("K", "S", 1)) == {"value": 42}
+
+    def test_reopen_resumes(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = CheckpointJournal.open(path, self.FP)
+        j.record(("K", "S", 1), {"value": 1})
+        j.record(("K", "S", 2), {"value": 2})
+        j2 = CheckpointJournal.open(path, self.FP)
+        assert len(j2) == 2 and j2.get(("K", "S", 2)) == {"value": 2}
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CheckpointJournal.open(path, self.FP).record(("K",), {})
+        with pytest.raises(CheckpointError, match="different configuration"):
+            CheckpointJournal.open(path, "beef" * 16)
+
+    def test_file_is_valid_jsonl_with_header(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = CheckpointJournal.open(path, self.FP)
+        j.record(("K", 1), {"v": 1})
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["kind"] == "header"
+        assert lines[0]["fingerprint"] == self.FP
+        assert lines[1] == {"kind": "point", "key": ["K", 1],
+                            "payload": {"v": 1}}
+
+    def test_corrupt_trailing_line_recovered(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = CheckpointJournal.open(path, self.FP)
+        j.record(("K", 1), {"v": 1})
+        j.record(("K", 2), {"v": 2})
+        faults.corrupt_journal(path, "truncate")
+        with pytest.warns(CheckpointWarning, match="trailing line"):
+            j2 = CheckpointJournal.open(path, self.FP)
+        assert j2.get(("K", 1)) == {"v": 1}
+        assert j2.get(("K", 2)) is None  # the truncated point re-runs
+
+    def test_appended_garbage_recovered(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CheckpointJournal.open(path, self.FP).record(("K", 1), {"v": 1})
+        faults.corrupt_journal(path, "garbage")
+        with pytest.warns(CheckpointWarning):
+            j2 = CheckpointJournal.open(path, self.FP)
+        assert len(j2) == 1
+
+    def test_corrupt_middle_line_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = CheckpointJournal.open(path, self.FP)
+        j.record(("K", 1), {"v": 1})
+        j.record(("K", 2), {"v": 2})
+        lines = path.read_text().splitlines()
+        lines[1] = "garbage{"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="corrupt at line 2"):
+            CheckpointJournal.open(path, self.FP)
+
+    def test_corrupt_header_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = CheckpointJournal.open(path, self.FP)
+        j.record(("K", 1), {"v": 1})
+        faults.corrupt_journal(path, "header")
+        with pytest.raises(CheckpointError):
+            CheckpointJournal.open(path, self.FP)
+
+    def test_not_a_journal_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps({"kind": "whatever"}) + "\n"
+                        + json.dumps({"kind": "point", "key": [1]}) + "\n")
+        with pytest.raises(CheckpointError, match="no header"):
+            CheckpointJournal.open(path, self.FP)
+
+
+class TestBudget:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PointBudget(wall_seconds=0)
+        with pytest.raises(ConfigurationError):
+            PointBudget(max_refs=-1)
+        with pytest.raises(ConfigurationError):
+            PointBudget(max_retries=-1)
+
+    def test_bounded_property(self):
+        assert not PointBudget().bounded
+        assert PointBudget(wall_seconds=1).bounded
+        assert PointBudget(max_refs=10).bounded
+
+    def test_hashable_for_memoization(self):
+        assert hash(PointBudget(wall_seconds=1.0)) is not None
+
+    def test_deadline_wall_clock(self):
+        clock = faults.FakeClock()
+        d = Deadline(PointBudget(wall_seconds=10), clock)
+        d.check(100)
+        clock.advance(11)
+        with pytest.raises(BudgetExceededError, match="wall-clock"):
+            d.check(1)
+
+    def test_deadline_trace_length(self):
+        d = Deadline(PointBudget(max_refs=100), faults.FakeClock())
+        d.check(60)
+        with pytest.raises(BudgetExceededError, match="trace budget"):
+            d.check(60)
+
+
+class TestRetries:
+    def test_success_after_transient_failures(self):
+        calls = {"n": 0}
+        naps = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RetryableError("transient")
+            return "ok"
+
+        out = run_with_retries(flaky, PointBudget(max_retries=2,
+                                                  backoff_seconds=0.1),
+                               sleep=naps.append)
+        assert out == "ok" and calls["n"] == 3
+        assert naps == [0.1, 0.2]  # exponential backoff
+
+    def test_exhaustion_reraises(self):
+        def always():
+            raise RetryableError("still down")
+
+        with pytest.raises(RetryableError):
+            run_with_retries(always, PointBudget(max_retries=1),
+                             sleep=lambda s: None)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def crash():
+            calls["n"] += 1
+            raise RuntimeError("hard crash")
+
+        with pytest.raises(RuntimeError):
+            run_with_retries(crash, PointBudget(max_retries=5),
+                             sleep=lambda s: None)
+        assert calls["n"] == 1
+
+    def test_budget_exceeded_not_retried(self):
+        calls = {"n": 0}
+
+        def over():
+            calls["n"] += 1
+            raise BudgetExceededError("out of time")
+
+        with pytest.raises(BudgetExceededError):
+            run_with_retries(over, PointBudget(max_retries=5),
+                             sleep=lambda s: None)
+        assert calls["n"] == 1
+
+
+class TestFaultInjector:
+    def test_fails_on_exact_call_index(self):
+        inj = faults.FaultInjector().fail_on("site", 3, RetryableError("x"))
+        inj.tick("site")
+        inj.tick("site")
+        with pytest.raises(RetryableError):
+            inj.tick("site")
+        assert inj.calls("site") == 3
+        inj.tick("site")  # 4th call is clean again
+
+    def test_sites_are_independent(self):
+        inj = faults.FaultInjector().fail_on("a", 1, RuntimeError("x"))
+        inj.tick("b")
+        assert inj.calls("a") == 0 and inj.calls("b") == 1
+
+    def test_advance_requires_clock(self):
+        with pytest.raises(ConfigurationError):
+            faults.FaultInjector().advance_on("s", 1, 5.0)
+
+    def test_advance_fires_before_exception(self):
+        clock = faults.FakeClock()
+        inj = faults.FaultInjector(clock=clock)
+        inj.advance_on("s", 2, 100.0)
+        inj.tick("s")
+        assert clock() == 0.0
+        inj.tick("s")
+        assert clock() == 100.0
+
+    def test_inject_installs_and_restores(self):
+        inj = faults.FaultInjector(clock=faults.FakeClock())
+        assert faults.active_clock() is not inj.clock
+        with faults.inject(inj):
+            assert faults.active_clock() is inj.clock
+            faults.tick("anything")
+        assert inj.calls("anything") == 1
+        assert faults.active_clock() is not inj.clock
+        faults.tick("anything")  # no-op after uninstall
+        assert inj.calls("anything") == 1
+
+    def test_active_sleep_advances_fake_clock(self):
+        clock = faults.FakeClock()
+        with faults.inject(faults.FaultInjector(clock=clock)):
+            faults.active_sleep()(2.5)
+        assert clock() == 2.5
+
+    def test_corrupt_unknown_mode(self, tmp_path):
+        p = tmp_path / "f"
+        p.write_text("x\n")
+        with pytest.raises(ConfigurationError):
+            faults.corrupt_journal(p, "melt")
