@@ -14,11 +14,15 @@ provides that simulator:
   small studies);
 * :class:`~repro.cache.hierarchy.CacheHierarchy` — multi-level
   composition with write-around / write-allocate policies;
+* :class:`~repro.cache.classify.MissClassifier` — shadow
+  fully-associative simulation splitting misses into cold / conflict /
+  capacity (the paper's Section 2-3 story, made measurable);
 * :mod:`~repro.cache.reuse` — reuse-distance and working-set analysis.
 """
 
 from repro.cache.params import CacheParams, ULTRASPARC2_L1, ULTRASPARC2_L2
 from repro.cache.base import CacheStats
+from repro.cache.classify import MISS_CLASSES, MissClassifier
 from repro.cache.direct_mapped import DirectMappedCache
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.cache.two_way import TwoWayCache
@@ -28,6 +32,8 @@ from repro.cache.hierarchy import CacheHierarchy, HierarchyStats, WritePolicy
 __all__ = [
     "CacheParams",
     "CacheStats",
+    "MISS_CLASSES",
+    "MissClassifier",
     "DirectMappedCache",
     "SetAssociativeCache",
     "TwoWayCache",

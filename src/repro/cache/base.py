@@ -54,5 +54,12 @@ class CacheLevel(Protocol):
         ...
 
     def reset(self) -> None:
-        """Empty the cache and zero the statistics."""
+        """Empty the cache and zero the statistics.
+
+        ``reset`` is a *full* reset — statistics included. Simulators
+        also offer ``invalidate()`` (contents dropped, statistics
+        kept); use :meth:`repro.cache.hierarchy.CacheHierarchy.invalidate`
+        when a level sits inside a hierarchy so the hierarchy's totals
+        stay consistent.
+        """
         ...

@@ -61,7 +61,12 @@ class DirectMappedCache:
         self._tags = np.full(params.num_sets, -1, dtype=np.int64)
 
     def reset(self) -> None:
+        """Empty the cache AND zero the statistics (a fresh simulator)."""
         self.stats = CacheStats()
+        self._tags.fill(-1)
+
+    def invalidate(self) -> None:
+        """Empty the cache but keep the statistics (mid-stream flush)."""
         self._tags.fill(-1)
 
     # ------------------------------------------------------------------

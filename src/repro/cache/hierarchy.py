@@ -16,6 +16,16 @@ with the paper's Table 3:
 * *global* — level misses / total demand references, which is how the
   paper's per-kernel "L2 miss rate" columns read (L2 rates far below
   L1 rates even though most L2 traffic hits).
+
+Reset semantics are explicit (they used to be a trap): calling a
+*level's* ``reset()`` mid-stream zeroes that level's counters without
+the hierarchy noticing — its accumulated statistics silently vanish
+from the final totals while the hierarchy's read/write counters keep
+counting, so miss-rate denominators no longer match their numerators.
+Use :meth:`CacheHierarchy.invalidate` to model a mid-stream cold
+restart (contents dropped, statistics preserved by merging into the
+hierarchy's carry accumulators) and :meth:`CacheHierarchy.reset` to
+zero everything.
 """
 
 from __future__ import annotations
@@ -104,14 +114,59 @@ class CacheHierarchy:
         self.params = list(levels)
         self.write_policy = write_policy
         self._levels: list[CacheLevel] = [build_level(p) for p in levels]
+        # Statistics carried over from invalidated level instances, so a
+        # mid-stream invalidate never loses counts (see module docstring).
+        self._carry: list[CacheStats] = [CacheStats() for _ in levels]
+        self._classifiers: list = [None] * len(levels)
         self.reads = 0
         self.writes = 0
 
     def reset(self) -> None:
+        """Zero everything: contents, per-level stats, carried stats."""
         for lvl in self._levels:
             lvl.reset()
+        self._carry = [CacheStats() for _ in self._levels]
+        for cls in self._classifiers:
+            if cls is not None:
+                cls.reset()
         self.reads = 0
         self.writes = 0
+
+    def invalidate(self, level: int | None = None) -> None:
+        """Drop cache *contents* without losing statistics.
+
+        A level's live counters are merged into the hierarchy's carry
+        accumulator before the level is cleared, so :meth:`stats` keeps
+        reporting totals for the whole stream — the explicit way to
+        model a mid-stream cold restart (context switch, flush).
+        ``level=None`` invalidates every level.
+        """
+        targets = range(len(self._levels)) if level is None else [level]
+        for i in targets:
+            lvl = self._levels[i]
+            self._carry[i].merge(lvl.stats)
+            lvl.reset()
+            if self._classifiers[i] is not None:
+                self._classifiers[i].invalidate()
+
+    # ------------------------------------------------------------------
+    def attach_classifiers(self, classifiers: list) -> None:
+        """Attach per-level miss classifiers (``None`` entries allowed).
+
+        Each :class:`~repro.cache.classify.MissClassifier` observes
+        exactly the access stream its level sees (demand-miss filtered)
+        and the level's miss mask, so classified totals match
+        ``CacheStats.misses`` per level.
+        """
+        if len(classifiers) != len(self._levels):
+            raise ConfigurationError(
+                f"need one classifier slot per level "
+                f"({len(self._levels)}), got {len(classifiers)}")
+        self._classifiers = list(classifiers)
+
+    @property
+    def classifiers(self) -> list:
+        return self._classifiers
 
     # ------------------------------------------------------------------
     def access(self, byte_addrs: np.ndarray,
@@ -142,11 +197,13 @@ class CacheHierarchy:
 
         current = cacheable
         first_miss: np.ndarray | None = None
-        for lvl in self._levels:
+        for i, lvl in enumerate(self._levels):
             if current.size == 0:
                 miss = np.zeros(0, dtype=bool)
             else:
                 miss = lvl.access(current)
+                if self._classifiers[i] is not None:
+                    self._classifiers[i].classify(current, miss)
             if first_miss is None:
                 first_miss = miss
             current = current[miss]
@@ -169,9 +226,11 @@ class CacheHierarchy:
         return self.stats()
 
     def stats(self) -> HierarchyStats:
-        return HierarchyStats(
-            levels=[(p.name, lvl.stats.copy())
-                    for p, lvl in zip(self.params, self._levels)],
-            reads=self.reads,
-            writes=self.writes,
-        )
+        """Totals for the whole stream, including invalidated epochs."""
+        merged = []
+        for p, lvl, carry in zip(self.params, self._levels, self._carry):
+            st = carry.copy()
+            st.merge(lvl.stats)
+            merged.append((p.name, st))
+        return HierarchyStats(levels=merged, reads=self.reads,
+                              writes=self.writes)

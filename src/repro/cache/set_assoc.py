@@ -35,7 +35,13 @@ class SetAssociativeCache:
         ]
 
     def reset(self) -> None:
+        """Empty the cache AND zero the statistics (a fresh simulator)."""
         self.stats = CacheStats()
+        for s in self._sets:
+            s.clear()
+
+    def invalidate(self) -> None:
+        """Empty the cache but keep the statistics (mid-stream flush)."""
         for s in self._sets:
             s.clear()
 

@@ -54,7 +54,13 @@ class TwoWayCache:
         self._lru = np.full(params.num_sets, -2, dtype=np.int64)
 
     def reset(self) -> None:
+        """Empty the cache AND zero the statistics (a fresh simulator)."""
         self.stats = CacheStats()
+        self._mru.fill(-1)
+        self._lru.fill(-2)
+
+    def invalidate(self) -> None:
+        """Empty the cache but keep the statistics (mid-stream flush)."""
         self._mru.fill(-1)
         self._lru.fill(-2)
 

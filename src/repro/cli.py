@@ -10,6 +10,7 @@ Exposes the library's main entry points without writing any Python:
     python -m repro fig22
     python -m repro mgrid [--level 7]
     python -m repro section1
+    python -m repro obs-report run.jsonl [--metrics metrics.json]
 
 ``--full`` switches to the paper's sweep density (equivalent to setting
 ``REPRO_FULL=1``). The sweep commands (``table3``, ``figures``) accept
@@ -18,19 +19,52 @@ interruption, ``--resume`` to insist the journal already exists, and
 ``--budget SECONDS`` to cap each point's exact simulation (over-budget
 points degrade to the analytic miss model and are flagged in the
 output). Usage errors exit with code 2 and a one-line message.
+
+Observability (every command, flags go after the subcommand name):
+``--log-json PATH`` records the run's structured event timeline as
+JSONL, ``--metrics PATH`` snapshots the metrics registry as JSON,
+``--profile`` adds per-phase tracemalloc peaks to span-end events
+(requires ``--log-json``), and ``-v``/``-q`` raise/lower stderr log
+verbosity. ``repro obs-report`` summarizes the artifacts afterwards.
+Tables and figures always go to stdout; diagnostics go to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 from typing import Sequence
 
 __all__ = ["main", "build_parser"]
 
+log = logging.getLogger(__name__)
+
 
 def build_parser() -> argparse.ArgumentParser:
+    # Shared observability/verbosity flags, attached to every subcommand
+    # (so they may be given after the subcommand name, where users type
+    # them).
+    logopts = argparse.ArgumentParser(add_help=False)
+    logopts.add_argument("-v", "--verbose", action="count", default=0,
+                         help="more stderr diagnostics (repeatable)")
+    logopts.add_argument("-q", "--quiet", action="count", default=0,
+                         help="less stderr diagnostics (repeatable)")
+    obsopts = argparse.ArgumentParser(add_help=False, parents=[logopts])
+    g = obsopts.add_argument_group("observability")
+    g.add_argument("--log-json", metavar="PATH",
+                   help="write the run's structured event timeline "
+                        "(nested timed spans, retries, checkpoint "
+                        "resumes) to PATH as JSONL")
+    g.add_argument("--metrics", metavar="PATH",
+                   help="write a metrics snapshot (miss classification, "
+                        "search effort, throughput) to PATH as JSON; "
+                        "also enables the shadow miss classifier")
+    g.add_argument("--profile", action="store_true",
+                   help="attach per-phase tracemalloc peak memory to "
+                        "span-end events (requires --log-json)")
+
     p = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of Rivera & Tseng, 'Tiling Optimizations "
@@ -55,7 +89,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "points degrade to the analytic miss model "
                              "and are marked degraded")
 
-    sp = sub.add_parser("select", help="run one tile-selection strategy")
+    sp = sub.add_parser("select", help="run one tile-selection strategy",
+                        parents=[obsopts])
     sp.add_argument("--strategy", default="GcdPad")
     sp.add_argument("--n", type=int, required=True,
                     help="array extent (DI = DJ = N)")
@@ -65,37 +100,61 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--mj", type=int, default=2)
     sp.add_argument("--atd", type=int, default=3)
 
-    sp = sub.add_parser("simulate", help="simulate one kernel configuration")
+    sp = sub.add_parser("simulate", help="simulate one kernel configuration",
+                        parents=[obsopts])
     sp.add_argument("--kernel", default="JACOBI",
                     choices=["JACOBI", "REDBLACK", "RESID"])
     sp.add_argument("--strategy", default="GcdPad")
     sp.add_argument("--n", type=int, required=True)
     add_full(sp)
 
-    sp = sub.add_parser("table1", help="Table 1: tile enumeration")
+    sp = sub.add_parser("table1", help="Table 1: tile enumeration",
+                        parents=[obsopts])
 
-    sp = sub.add_parser("table3", help="Table 3: average improvements")
+    sp = sub.add_parser("table3", help="Table 3: average improvements",
+                        parents=[obsopts])
     sp.add_argument("--csv", metavar="PATH",
                     help="also dump all simulated points as CSV")
+    sp.add_argument("--n", type=int, action="append", metavar="N",
+                    help="problem size(s) to sweep (repeatable); "
+                         "default: the standard N grid")
     add_full(sp)
     add_resilience(sp)
 
-    sp = sub.add_parser("figures", help="Figures 14-19 series for a kernel")
+    sp = sub.add_parser("figures", help="Figures 14-19 series for a kernel",
+                        parents=[obsopts])
     sp.add_argument("--kernel", default="JACOBI",
                     choices=["JACOBI", "REDBLACK", "RESID"])
     sp.add_argument("--csv", metavar="PATH",
                     help="also dump the series points as CSV")
+    sp.add_argument("--n", type=int, action="append", metavar="N",
+                    help="problem size(s) to sweep (repeatable); "
+                         "default: the standard N grid")
     add_full(sp)
     add_resilience(sp)
 
-    sp = sub.add_parser("fig22", help="Figure 22: padding memory overhead")
+    sp = sub.add_parser("fig22", help="Figure 22: padding memory overhead",
+                        parents=[obsopts])
     add_full(sp)
 
-    sp = sub.add_parser("mgrid", help="Section 4.6: MGRID application study")
+    sp = sub.add_parser("mgrid", help="Section 4.6: MGRID application study",
+                        parents=[obsopts])
     sp.add_argument("--level", type=int, default=7,
                     help="finest grid level (7 -> 130^3 reference class)")
 
-    sp = sub.add_parser("section1", help="Section 1: capacity thresholds")
+    sp = sub.add_parser("section1", help="Section 1: capacity thresholds",
+                        parents=[obsopts])
+
+    sp = sub.add_parser("obs-report",
+                        help="summarize a --log-json event file",
+                        parents=[logopts])
+    sp.add_argument("events", metavar="EVENTS_JSONL",
+                    help="event file written by --log-json")
+    sp.add_argument("--metrics", metavar="PATH",
+                    help="metrics snapshot written by --metrics "
+                         "(adds miss-classification tables)")
+    sp.add_argument("--top", type=int, default=5,
+                    help="how many slowest points to list (default 5)")
     return p
 
 
@@ -113,8 +172,19 @@ def _validate(args) -> None:
     """
     from repro.errors import ConfigurationError, ExperimentError
 
-    if getattr(args, "n", None) is not None and args.n <= 0:
-        raise ConfigurationError(f"--n must be positive, got {args.n}")
+    n = getattr(args, "n", None)
+    if n is not None:
+        sizes = n if isinstance(n, list) else [n]
+        for size in sizes:
+            if size <= 0:
+                raise ConfigurationError(
+                    f"--n must be positive, got {size}")
+    if getattr(args, "profile", False) and not getattr(args, "log_json", None):
+        raise ConfigurationError(
+            "--profile records memory peaks on span-end events; "
+            "it requires --log-json PATH")
+    if args.command == "obs-report" and args.top <= 0:
+        raise ConfigurationError(f"--top must be positive, got {args.top}")
     if args.command == "mgrid" and not 2 <= args.level <= 10:
         raise ConfigurationError(
             f"--level must be in 2..10 (grid 5^3 .. 1025^3), "
@@ -176,6 +246,27 @@ def _run(argv: Sequence[str] | None = None) -> int:
     _apply_full(args)
     _validate(args)
 
+    if args.command == "obs-report":
+        from repro.obs import setup_cli_logging
+        from repro.obs.report import obs_report
+
+        setup_cli_logging(args.verbose, args.quiet)
+        print(obs_report(args.events, args.metrics, top=args.top))
+        return 0
+
+    from repro import obs
+
+    cmd = " ".join(argv if argv is not None else sys.argv[1:])
+    with obs.session(log_json=getattr(args, "log_json", None),
+                     metrics_path=getattr(args, "metrics", None),
+                     profile=getattr(args, "profile", False),
+                     verbose=getattr(args, "verbose", 0),
+                     quiet=getattr(args, "quiet", 0),
+                     command=cmd or args.command):
+        return _dispatch(args)
+
+
+def _dispatch(args) -> int:
     # Imports happen after REPRO_FULL is set so configs pick it up.
     if args.command == "select":
         from repro.core.selector import select
@@ -211,7 +302,7 @@ def _run(argv: Sequence[str] | None = None) -> int:
     elif args.command == "table3":
         from repro.experiments.table3 import format_table3, table3
 
-        res = table3(**_resilience_kwargs(args))
+        res = table3(sizes=args.n, **_resilience_kwargs(args))
         print(format_table3(res))
         if args.csv:
             from repro.experiments.export import write_points_csv
@@ -219,12 +310,13 @@ def _run(argv: Sequence[str] | None = None) -> int:
             pts = [p for k in res.points.values()
                    for series in k.values() for p in series]
             path = write_points_csv(pts, args.csv)
-            print(f"\nwrote {len(pts)} points to {path}")
+            log.info("wrote %d points to %s", len(pts), path)
 
     elif args.command == "figures":
         from repro.experiments.figures import figure_series, format_figure
 
-        data = figure_series(args.kernel, **_resilience_kwargs(args))
+        data = figure_series(args.kernel, sizes=args.n,
+                             **_resilience_kwargs(args))
         print(format_figure(data, "l1_rate", "L1 miss rate (%)"))
         print()
         print(format_figure(data, "mflops", "MFlops"))
@@ -233,7 +325,7 @@ def _run(argv: Sequence[str] | None = None) -> int:
 
             pts = [p for series in data.points.values() for p in series]
             path = write_points_csv(pts, args.csv)
-            print(f"\nwrote {len(pts)} points to {path}")
+            log.info("wrote %d points to %s", len(pts), path)
 
     elif args.command == "fig22":
         from repro.experiments.fig22 import fig22, format_fig22

@@ -23,6 +23,7 @@ from functools import lru_cache
 
 from repro.core.conflict import max_noconflict_ti
 from repro.core.cost import cost
+from repro.obs import metrics
 from repro.types import ArrayTile, SelectionResult, TileSize
 
 __all__ = ["noconflict_frontier", "enumerate_array_tiles", "euc3d"]
@@ -110,10 +111,16 @@ def euc3d(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
     ti_cap = max(1, di - mi)
     tj_cap = max(1, dj - mj)
 
+    # Enumeration accounting for the metrics registry: how many frontier
+    # candidates Euc3D looked at and why the losers lost. Counted
+    # locally and recorded once — zero overhead inside the search loop.
+    candidates = rej_degenerate = rej_cost = 0
     for tk in range(atd, atd + tk_extra + 1):
         for arr in noconflict_frontier(cs, di, dj, tk):
+            candidates += 1
             trimmed = arr.trimmed(mi, mj)
             if trimmed is None:
+                rej_degenerate += 1
                 continue
             ti = min(trimmed.ti, ti_cap)
             tj = min(trimmed.tj, tj_cap)
@@ -122,6 +129,17 @@ def euc3d(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
                 best_tile = TileSize(ti, tj)
                 best_cost = c
                 best_arr = arr
+            else:
+                rej_cost += 1
+
+    if metrics.enabled():
+        metrics.inc("repro.select.euc3d.candidates", candidates)
+        if rej_degenerate:
+            metrics.inc("repro.select.euc3d.rejected", rej_degenerate,
+                        reason="degenerate")
+        if rej_cost:
+            metrics.inc("repro.select.euc3d.rejected", rej_cost,
+                        reason="cost")
 
     return SelectionResult(strategy=strategy_name, tile=best_tile,
                            di_p=di, dj_p=dj, cost=best_cost,

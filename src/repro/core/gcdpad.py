@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 
 from repro.errors import ConfigurationError, TileSelectionError
+from repro.obs import metrics
 from repro.types import ArrayTile, PadResult, TileSize
 
 __all__ = ["gcdpad", "gcdpad_array_tile", "pad_to_odd_multiple"]
@@ -67,6 +68,7 @@ def gcdpad(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
     array tile depth (a power of two, normally 4 since at most 3-4 tile
     planes must be resident).
     """
+    metrics.inc("repro.select.gcdpad.calls")
     arr = gcdpad_array_tile(cs, tk)
     trimmed = arr.trimmed(mi, mj)
     if trimmed is None:

@@ -16,12 +16,17 @@ K fixed at 30).
 
 from __future__ import annotations
 
+import logging
+
 from repro.core.cost import cost_tile
 from repro.core.euc3d import euc3d
 from repro.core.gcdpad import gcdpad
+from repro.obs import metrics
 from repro.types import PadResult
 
 __all__ = ["pad"]
+
+log = logging.getLogger(__name__)
 
 
 def pad(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
@@ -34,13 +39,21 @@ def pad(cs: int, di: int, dj: int, *, mi: int = 2, mj: int = 2,
     g = gcdpad(cs, di, dj, mi=mi, mj=mj, tk=gcd_tk)
     cost_star = cost_tile(g.tile, mi, mj)
 
-    for di_p in range(di, g.di_p + 1):
-        for dj_p in range(dj, g.dj_p + 1):
-            r = euc3d(cs, di_p, dj_p, mi=mi, mj=mj, atd=atd)
-            if r.tile is not None and r.cost <= cost_star:
-                return PadResult(tile=r.tile, di=di, dj=dj,
-                                 di_p=di_p, dj_p=dj_p)
+    searched = 0
+    try:
+        for di_p in range(di, g.di_p + 1):
+            for dj_p in range(dj, g.dj_p + 1):
+                searched += 1
+                r = euc3d(cs, di_p, dj_p, mi=mi, mj=mj, atd=atd)
+                if r.tile is not None and r.cost <= cost_star:
+                    return PadResult(tile=r.tile, di=di, dj=dj,
+                                     di_p=di_p, dj_p=dj_p)
+    finally:
+        metrics.inc("repro.select.pad.searched", searched)
 
     # The GcdPad geometry is in the search space, so this is unreachable
     # unless Euc3D is broken; fall back to GcdPad's own answer for safety.
+    log.warning("Pad(cs=%d, %dx%d): no geometry beat Cost*=%.4f after "
+                "%d candidates; falling back to GcdPad", cs, di, dj,
+                cost_star, searched)
     return g

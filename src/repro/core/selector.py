@@ -9,6 +9,7 @@ paper's six transformations plus the baselines from
 
 from __future__ import annotations
 
+import logging
 import math
 from typing import Callable
 
@@ -17,9 +18,12 @@ from repro.core.gcdpad import gcdpad
 from repro.core.pad import pad
 from repro.core.tile_square import square_tile
 from repro.errors import ConfigurationError
+from repro.obs import metrics
 from repro.types import SelectionResult
 
 __all__ = ["select", "STRATEGIES"]
+
+log = logging.getLogger(__name__)
 
 Strategy = Callable[..., SelectionResult]
 
@@ -108,4 +112,9 @@ def select(strategy: str, cs: int, di: int, dj: int, *, mi: int = 2,
         raise ConfigurationError(
             f"unknown strategy {strategy!r}; valid: {sorted(STRATEGIES)}"
         ) from None
-    return fn(cs, di, dj, mi=mi, mj=mj, atd=atd)
+    metrics.inc("repro.select.calls", strategy=strategy)
+    result = fn(cs, di, dj, mi=mi, mj=mj, atd=atd)
+    if log.isEnabledFor(logging.DEBUG):
+        log.debug("%s(cs=%d, %dx%d) -> tile=%s dims=%dx%d", strategy, cs,
+                  di, dj, result.tile, result.di_p, result.dj_p)
+    return result

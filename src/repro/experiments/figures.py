@@ -14,6 +14,7 @@ Figures 20-21 are the same series for RESID at N = 400..700 on the
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentConfig, default_sizes
@@ -23,6 +24,8 @@ from repro.perfmodel.machine import ULTRASPARC2_450
 
 __all__ = ["FigureData", "figure_series", "large_resid_series",
            "format_figure", "GRAPH_GROUPS"]
+
+log = logging.getLogger(__name__)
 
 GRAPH_GROUPS: tuple[tuple[str, ...], ...] = (
     ("Orig", "Tile", "Euc3D"),
@@ -55,6 +58,8 @@ def figure_series(kernel: str, sizes: list[int] | None = None,
     cfg = cfg or ExperimentConfig()
     sizes = sizes or default_sizes()
     strategies = ["Orig", "Tile", "Euc3D", "GcdPad", "Pad", "GcdPadNT"]
+    log.info("figures: sweeping %s, %d strategies x %d sizes",
+             kernel, len(strategies), len(sizes))
     return FigureData(kernel=kernel, sizes=sizes,
                       points=sweep(kernel, strategies, sizes, cfg,
                                    checkpoint=checkpoint, budget=budget))

@@ -34,12 +34,14 @@ behaviours on top:
 
 from __future__ import annotations
 
+import logging
 import math
 import os
 import time
 from dataclasses import asdict, dataclass
 from functools import lru_cache
 
+from repro.cache.classify import MissClassifier
 from repro.cache.hierarchy import CacheHierarchy
 from repro.core.missmodel import tiled_miss_rate, untiled_miss_rate
 from repro.core.selector import select
@@ -52,6 +54,7 @@ from repro.errors import (
 from repro.experiments.config import ExperimentConfig
 from repro.ir.stencil import JACOBI_3D, REDBLACK_6PT, RESID_27PT
 from repro.kernels import KERNELS, Schedule
+from repro.obs import events, metrics
 from repro.perfmodel.model import RunCounts, predict
 from repro.resilience import (
     CheckpointJournal,
@@ -66,6 +69,8 @@ from repro.types import SelectionResult
 __all__ = ["PointResult", "run_point", "run_point_analytic",
            "run_point_resilient", "sweep", "open_journal",
            "config_fingerprint", "clear_cache", "cache_info"]
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -125,6 +130,22 @@ def _tile_count(kernel, sel: SelectionResult, schedule: Schedule) -> int:
     return max(1, tiles)
 
 
+def _record_sim_metrics(hier: CacheHierarchy, stats, seconds: float) -> None:
+    """Per-level access/miss counters plus the 3C classification."""
+    metrics.observe("repro.sim.point_seconds", seconds)
+    for (name, st), cls in zip(stats.levels, hier.classifiers):
+        metrics.inc("repro.sim.accesses", st.accesses, level=name)
+        metrics.inc("repro.sim.misses", st.misses, level=name)
+        if cls is None:
+            continue
+        for c, cnt in cls.counts.items():
+            if cnt:
+                metrics.inc("repro.sim.miss_class", cnt, level=name, cls=c)
+        for arr, cnt in cls.by_array.items():
+            if cnt:
+                metrics.inc("repro.sim.miss_array", cnt, level=name, array=arr)
+
+
 def _simulate_exact(kernel_name: str, strategy: str, n: int,
                     cfg: ExperimentConfig,
                     budget: PointBudget | None = None,
@@ -140,12 +161,27 @@ def _simulate_exact(kernel_name: str, strategy: str, n: int,
                 if budget is not None and budget.bounded else None)
     hier = CacheHierarchy(cfg.levels)
     inter_pad = cfg.cs if cfg.inter_pad else None
-    for addrs, w in kern.trace(sel, schedule, inter_pad_cache=inter_pad):
-        faults.tick("chunk")
-        if deadline is not None:
-            deadline.check(len(addrs))
-        hier.access(addrs, w)
-    stats = hier.stats()
+    if metrics.enabled():
+        # Shadow-LRU miss classification is a Python-loop cost, so it is
+        # attached only when a registry is collecting (``--metrics``).
+        specs = kern.specs(sel.di_p, sel.dj_p, inter_pad_cache=inter_pad)
+        ranges = [(s.name, s.base * s.elem_bytes, s.end * s.elem_bytes)
+                  for s in specs.values()]
+        hier.attach_classifiers(
+            [MissClassifier(p, ranges) for p in cfg.levels])
+
+    t0 = time.perf_counter()
+    with events.span("simulate", kernel=kernel_name, strategy=strategy,
+                     n=n) as sp:
+        for addrs, w in kern.trace(sel, schedule, inter_pad_cache=inter_pad):
+            faults.tick("chunk")
+            if deadline is not None:
+                deadline.check(len(addrs))
+            hier.access(addrs, w)
+        stats = hier.stats()
+        sp["refs"] = stats.demand_refs
+    if metrics.enabled():
+        _record_sim_metrics(hier, stats, time.perf_counter() - t0)
 
     l1_rate = stats.global_miss_rate(0, include_writes=cfg.include_writes)
     l2_rate = stats.global_miss_rate(1, include_writes=cfg.include_writes)
@@ -188,7 +224,12 @@ def _run_point_cached(kernel_name: str, strategy: str, n: int,
 def run_point(kernel: str, strategy: str, n: int,
               cfg: ExperimentConfig | None = None) -> PointResult:
     """Simulate one configuration (memoized)."""
-    return _run_point_cached(kernel, strategy, n, cfg or ExperimentConfig())
+    with events.span("point", kernel=kernel, strategy=strategy, n=n) as sp:
+        result = _run_point_cached(kernel, strategy, n,
+                                   cfg or ExperimentConfig())
+        sp["degraded"] = result.degraded
+    metrics.inc("repro.runner.points", mode="exact")
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -242,6 +283,7 @@ def run_point_analytic(kernel: str, strategy: str, n: int,
                                      line, refs_per_iter)
         return min(1.0, pred.miss_rate)
 
+    metrics.inc("repro.runner.points", mode="analytic")
     l1_rate = rate_at(cfg.l1)
     l2_rate = min(rate_at(cfg.l2), l1_rate)
     l1_misses = round(l1_rate * refs)
@@ -326,23 +368,36 @@ def run_point_resilient(kernel: str, strategy: str, n: int,
     cfg = cfg or ExperimentConfig()
     budget = budget or PointBudget()
     key = (kernel, strategy, n)
-    if journal is not None:
-        payload = journal.get(key)
-        if payload is not None:
-            return _point_from_payload(payload)
+    with events.span("point", kernel=kernel, strategy=strategy, n=n) as sp:
+        if journal is not None:
+            payload = journal.get(key)
+            if payload is not None:
+                result = _point_from_payload(payload)
+                sp["source"] = "journal"
+                sp["degraded"] = result.degraded
+                metrics.inc("repro.runner.points", mode="journal")
+                return result
 
-    clock = faults.active_clock()
-    try:
-        result = run_with_retries(
-            lambda: _simulate_exact(kernel, strategy, n, cfg,
-                                    budget=budget, clock=clock),
-            budget, sleep=faults.active_sleep())
-    except (BudgetExceededError, RetryableError):
-        result = run_point_analytic(kernel, strategy, n, cfg)
+        clock = faults.active_clock()
+        try:
+            result = run_with_retries(
+                lambda: _simulate_exact(kernel, strategy, n, cfg,
+                                        budget=budget, clock=clock),
+                budget, sleep=faults.active_sleep())
+            metrics.inc("repro.runner.points", mode="exact")
+        except (BudgetExceededError, RetryableError) as exc:
+            log.warning("point %s/%s/N=%d degraded to the analytic model "
+                        "(%s: %s)", kernel, strategy, n,
+                        type(exc).__name__, exc)
+            events.emit("degraded", kernel=kernel, strategy=strategy, n=n,
+                        reason=type(exc).__name__)
+            metrics.inc("repro.resilience.degraded")
+            result = run_point_analytic(kernel, strategy, n, cfg)
 
-    if journal is not None:
-        journal.record(key, _point_to_payload(result))
-    return result
+        sp["degraded"] = result.degraded
+        if journal is not None:
+            journal.record(key, _point_to_payload(result))
+        return result
 
 
 def sweep(kernel: str, strategies: list[str], sizes: list[int],
@@ -359,17 +414,21 @@ def sweep(kernel: str, strategies: list[str], sizes: list[int],
     Without either, the fast memoized path is used unchanged.
     """
     cfg = cfg or ExperimentConfig()
-    if checkpoint is None and budget is None:
-        return {s: [run_point(kernel, s, n, cfg) for n in sizes]
+    log.debug("sweep %s: %d strategies x %d sizes", kernel,
+              len(strategies), len(sizes))
+    with events.span("sweep", kernel=kernel, strategies=len(strategies),
+                     sizes=len(sizes)):
+        if checkpoint is None and budget is None:
+            return {s: [run_point(kernel, s, n, cfg) for n in sizes]
+                    for s in strategies}
+        journal: CheckpointJournal | None = None
+        if checkpoint is not None:
+            journal = (checkpoint if isinstance(checkpoint, CheckpointJournal)
+                       else open_journal(checkpoint, cfg))
+        return {s: [run_point_resilient(kernel, s, n, cfg,
+                                        budget=budget, journal=journal)
+                    for n in sizes]
                 for s in strategies}
-    journal: CheckpointJournal | None = None
-    if checkpoint is not None:
-        journal = (checkpoint if isinstance(checkpoint, CheckpointJournal)
-                   else open_journal(checkpoint, cfg))
-    return {s: [run_point_resilient(kernel, s, n, cfg,
-                                    budget=budget, journal=journal)
-                for n in sizes]
-            for s in strategies}
 
 
 def clear_cache() -> None:

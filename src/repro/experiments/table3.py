@@ -11,6 +11,7 @@ Improvement conventions follow Section 4.3 exactly:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentConfig, default_sizes
@@ -19,6 +20,8 @@ from repro.experiments.runner import PointResult, sweep
 from repro.experiments.transforms_table import PAPER_STRATEGIES
 
 __all__ = ["KernelSummary", "Table3Result", "table3", "format_table3"]
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -83,7 +86,9 @@ def table3(kernels: tuple[str, ...] = ("JACOBI", "REDBLACK", "RESID"),
             checkpoint = open_journal(checkpoint, cfg)
     points: dict[str, dict[str, list[PointResult]]] = {}
     summaries = []
-    for kernel in kernels:
+    for ki, kernel in enumerate(kernels, start=1):
+        log.info("table3: sweeping %s (%d/%d), %d strategies x %d sizes",
+                 kernel, ki, len(kernels), 1 + len(strategies), len(sizes))
         res = sweep(kernel, ["Orig", *strategies], sizes, cfg,
                     checkpoint=checkpoint, budget=budget)
         points[kernel] = res

@@ -1,0 +1,123 @@
+"""Observability layer: structured events, metrics, logging, profiling.
+
+Three cooperating pieces, all disabled (near-zero-cost) by default:
+
+* :mod:`~repro.obs.events` — an event bus with nested timed spans
+  (``span("sweep") > span("point") > span("simulate")``) and a JSONL
+  sink with atomic writes; resilience messages (retries, checkpoint
+  resumes, degradations) land in the same timeline.
+* :mod:`~repro.obs.metrics` — a process-local registry of counters /
+  gauges / histograms: per-level cold/conflict/capacity miss
+  breakdowns, trace volume, Euc3D/Pad search effort, memo hit rates.
+  Metric names are a stable interface (see the module docstring).
+* :mod:`~repro.obs.profile` — opt-in per-phase wall-clock and
+  ``tracemalloc`` peak-memory capture attached to span-end events.
+
+The CLI wires them up per run (``--log-json``, ``--metrics``,
+``--profile``, ``-v/-q``) through :func:`session`; ``repro obs-report``
+(:mod:`~repro.obs.report`) renders the artifacts afterwards. Library
+code only ever calls the cheap module-level hooks
+(``events.emit``/``events.span``/``metrics.inc``), so importing
+:mod:`repro` never configures logging or starts tracing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import logging
+import pathlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.obs import events, metrics
+from repro.obs.events import EventBus, JsonlSink, MemorySink, NullSink
+from repro.obs.logsetup import setup_cli_logging, verbosity_to_level
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "EventBus",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "MetricsRegistry",
+    "Session",
+    "session",
+    "setup_cli_logging",
+    "verbosity_to_level",
+    "events",
+    "metrics",
+]
+
+log = logging.getLogger(__name__)
+
+
+@dataclass
+class Session:
+    """Handles for one instrumented run (what :func:`session` yields)."""
+
+    bus: EventBus
+    registry: MetricsRegistry | None
+    log_json: pathlib.Path | None
+    metrics_path: pathlib.Path | None
+
+
+def _finalize_metrics(reg: MetricsRegistry) -> None:
+    """Derived metrics recorded once, at session close."""
+    try:
+        from repro.experiments.runner import cache_info
+
+        ci = cache_info()
+        reg.gauge("repro.runner.memo.hits").set(ci.hits)
+        reg.gauge("repro.runner.memo.misses").set(ci.misses)
+        reg.gauge("repro.runner.memo.currsize").set(ci.currsize)
+    except Exception:  # pragma: no cover - runner not imported/available
+        pass
+    addrs = reg.counter_total("repro.trace.addresses")
+    secs = reg.histogram("repro.sim.point_seconds").total
+    if secs > 0:
+        reg.gauge("repro.sim.addresses_per_second").set(round(addrs / secs, 1))
+
+
+@contextlib.contextmanager
+def session(log_json: str | pathlib.Path | None = None,
+            metrics_path: str | pathlib.Path | None = None,
+            profile: bool = False,
+            verbose: int = 0, quiet: int = 0,
+            command: str | None = None) -> Iterator[Session]:
+    """One instrumented run: install sinks, wrap it in a ``run`` span.
+
+    Everything is torn down — and every artifact flushed — on exit,
+    including exceptional exit, so a failed run still leaves its event
+    timeline and metrics snapshot on disk for diagnosis.
+    """
+    setup_cli_logging(verbose, quiet)
+    sink = JsonlSink(log_json) if log_json else None
+    bus = EventBus(sink, profile=profile)
+    reg = MetricsRegistry() if metrics_path else None
+    ses = Session(bus=bus, registry=reg,
+                  log_json=pathlib.Path(log_json) if log_json else None,
+                  metrics_path=(pathlib.Path(metrics_path)
+                                if metrics_path else None))
+
+    with contextlib.ExitStack() as stack:
+        if profile:
+            from repro.obs import profile as _profile
+
+            _profile.start()
+            stack.callback(_profile.stop)
+        stack.enter_context(events.use(bus))
+        if reg is not None:
+            stack.enter_context(metrics.collect(reg))
+        try:
+            with bus.span("run", command=command or "?"):
+                yield ses
+        finally:
+            if reg is not None:
+                _finalize_metrics(reg)
+                if ses.metrics_path is not None:
+                    reg.write(ses.metrics_path)
+                    log.info("metrics snapshot written to %s",
+                             ses.metrics_path)
+            bus.close()
+            if ses.log_json is not None:
+                log.info("run events written to %s", ses.log_json)

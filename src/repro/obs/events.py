@@ -1,0 +1,264 @@
+"""Structured run events: nested timed spans over pluggable sinks.
+
+The event bus is the backbone of the observability layer
+(:mod:`repro.obs`): every experiment phase — a sweep, one simulated
+point, one exact simulation — opens a *span*, and anything noteworthy
+in between (a retry, a checkpoint resume, a degraded point) is emitted
+as a point event. Spans nest; the bus stamps every record with a
+monotonic sequence number, timestamps, and the enclosing span path, so
+a run's JSONL file totally orders everything that happened.
+
+Design constraints:
+
+* **Disabled must be near-free.** The default global bus carries a
+  :class:`NullSink`; :func:`emit` returns after one truthiness check
+  and :func:`span` hands back a shared no-op context manager. Hot
+  paths may call these unconditionally.
+* **Durable files are never half-written.** :class:`JsonlSink` buffers
+  lines and rewrites the whole file through
+  :func:`repro.resilience.atomic.atomic_write_text`, so a killed run
+  leaves a parseable event file (the same durability contract as
+  checkpoint journals).
+
+Event schema (stable, version 1)
+--------------------------------
+
+Every record carries ``v`` (schema version), ``seq`` (monotonic per
+run), ``ts`` (unix time), ``t`` (seconds since the bus started),
+``kind``, and ``span`` (the ``/``-joined path of enclosing spans at
+emit time). ``kind == "span_start"`` and ``"span_end"`` add ``name``
+plus the span's attributes; ``span_end`` also carries ``dur_s``, any
+result fields attached through the span handle, ``error`` (exception
+type name) when the span exited exceptionally, and — under profiling —
+``mem_peak_kb`` (tracemalloc peak since span entry). All other kinds
+are free-form point events (``retry``, ``degraded``,
+``checkpoint_resume``, ...).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import pathlib
+import time
+from typing import Any, Iterator
+
+from repro.resilience.atomic import atomic_write_text
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "EventBus",
+    "get_bus",
+    "use",
+    "emit",
+    "span",
+]
+
+SCHEMA_VERSION = 1
+
+
+class NullSink:
+    """Discards everything; the disabled bus's sink."""
+
+    __slots__ = ()
+
+    def write(self, record: dict) -> None:  # pragma: no cover - never called
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink:
+    """Keeps records in a list (tests and in-process consumers)."""
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def write(self, record: dict) -> None:
+        self.records.append(record)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Writes events as JSON lines, atomically rewritten on flush.
+
+    Lines are buffered and the whole file is rewritten through
+    :func:`~repro.resilience.atomic.atomic_write_text` every
+    ``flush_every`` events and on :meth:`close`, so readers (and a
+    process killed mid-run) always see a valid JSONL prefix of the
+    event stream — never a torn line.
+    """
+
+    def __init__(self, path: str | pathlib.Path, flush_every: int = 256):
+        self.path = pathlib.Path(path)
+        self._lines: list[str] = []
+        self._dirty = 0
+        self._flush_every = max(1, flush_every)
+
+    def write(self, record: dict) -> None:
+        self._lines.append(json.dumps(record, default=repr))
+        self._dirty += 1
+        if self._dirty >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._dirty:
+            atomic_write_text(self.path, "\n".join(self._lines) + "\n")
+            self._dirty = 0
+
+    def close(self) -> None:
+        self.flush()
+
+
+class _NullSpan:
+    """Reusable no-op span: enters to a fresh dict, never emits."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> dict:
+        return {}
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: emits start/end records and times the body.
+
+    Entering yields a dict; fields assigned to it become part of the
+    ``span_end`` record (e.g. ``sp["l1_rate"] = ...``).
+    """
+
+    __slots__ = ("_bus", "_name", "_attrs", "_out", "_t0", "_mem")
+
+    def __init__(self, bus: "EventBus", name: str, attrs: dict):
+        self._bus = bus
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> dict:
+        bus = self._bus
+        bus.emit("span_start", name=self._name, **self._attrs)
+        bus._stack.append(self._name)
+        self._out: dict[str, Any] = {}
+        self._mem = None
+        if bus.profile:
+            from repro.obs import profile as _profile
+
+            self._mem = _profile.phase_enter()
+        self._t0 = time.perf_counter()
+        return self._out
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur = time.perf_counter() - self._t0
+        bus = self._bus
+        if bus._stack and bus._stack[-1] == self._name:
+            bus._stack.pop()
+        fields = dict(self._attrs)
+        fields.update(self._out)
+        if self._mem is not None:
+            from repro.obs import profile as _profile
+
+            fields["mem_peak_kb"] = _profile.phase_exit(self._mem)
+        if exc_type is not None:
+            fields["error"] = exc_type.__name__
+        bus.emit("span_end", name=self._name, dur_s=dur, **fields)
+        return False
+
+
+class EventBus:
+    """Sequences, stamps, and routes events to a sink.
+
+    A bus built on a :class:`NullSink` (the default) is *disabled*:
+    ``emit`` returns immediately and ``span`` yields a shared no-op
+    context manager, so instrumentation left in hot paths costs one
+    branch.
+    """
+
+    def __init__(self, sink=None, *, profile: bool = False):
+        self.sink = sink if sink is not None else NullSink()
+        self.enabled = not isinstance(self.sink, NullSink)
+        self.profile = profile and self.enabled
+        self._seq = 0
+        self._t0 = time.perf_counter()
+        self._stack: list[str] = []
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        record = {
+            "v": SCHEMA_VERSION,
+            "seq": self._seq,
+            "ts": time.time(),
+            "t": round(time.perf_counter() - self._t0, 6),
+            "kind": kind,
+            "span": "/".join(self._stack),
+        }
+        record.update(fields)
+        self._seq += 1
+        self.sink.write(record)
+
+    def span(self, name: str, **attrs):
+        """A nested timed phase; see :class:`_Span` for the handle."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+#: The process-global bus; disabled until a CLI session (or a test)
+#: installs a real sink via :func:`use`.
+_BUS = EventBus()
+
+
+def get_bus() -> EventBus:
+    """The currently installed global bus."""
+    return _BUS
+
+
+@contextlib.contextmanager
+def use(bus: EventBus) -> Iterator[EventBus]:
+    """Install ``bus`` globally for the duration of the ``with`` block."""
+    global _BUS
+    prev = _BUS
+    _BUS = bus
+    try:
+        yield bus
+    finally:
+        _BUS = prev
+
+
+def emit(kind: str, **fields) -> None:
+    """Emit on the global bus (one branch when disabled)."""
+    bus = _BUS
+    if bus.enabled:
+        bus.emit(kind, **fields)
+
+
+def span(name: str, **attrs):
+    """Open a span on the global bus (shared no-op when disabled)."""
+    return _BUS.span(name, **attrs)

@@ -1,0 +1,224 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Collection is opt-in: the module-level registry is ``None`` until a CLI
+session (``--metrics PATH``) or a test installs one via
+:func:`collect`, and every recording helper starts with one ``None``
+check — instrumentation left in hot paths is near-free when disabled.
+
+Metric names are a **stable interface** (reports and CI parse them):
+
+=====================================  ==========  =========================
+name                                   type        labels
+=====================================  ==========  =========================
+``repro.trace.chunks``                 counter     —
+``repro.trace.addresses``              counter     —
+``repro.sim.accesses``                 counter     ``level``
+``repro.sim.misses``                   counter     ``level``
+``repro.sim.miss_class``               counter     ``level``, ``cls`` in
+                                                   cold|conflict|capacity
+``repro.sim.miss_array``               counter     ``level``, ``array``
+``repro.sim.point_seconds``            histogram   —
+``repro.sim.addresses_per_second``     gauge       —
+``repro.select.calls``                 counter     ``strategy``
+``repro.select.euc3d.candidates``      counter     —
+``repro.select.euc3d.rejected``        counter     ``reason`` in
+                                                   degenerate|cost
+``repro.select.gcdpad.calls``          counter     —
+``repro.select.pad.searched``          counter     —
+``repro.runner.points``                counter     ``mode`` in
+                                                   exact|analytic|journal
+``repro.runner.memo.hits``             gauge       —
+``repro.runner.memo.misses``           gauge       —
+``repro.runner.memo.currsize``         gauge       —
+``repro.resilience.retries``           counter     —
+``repro.resilience.degraded``          counter     —
+``repro.resilience.checkpoint.*``      counter     resumed_points, records,
+                                                   recovered
+=====================================  ==========  =========================
+
+Per-level ``cold + conflict + capacity`` miss counts sum exactly to
+``repro.sim.misses`` for the same level (see
+:mod:`repro.cache.classify`); tests and the acceptance harness rely on
+that identity.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "enabled",
+    "collect",
+    "inc",
+    "set_gauge",
+    "observe",
+]
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing integer."""
+
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """A point-in-time number (last write wins)."""
+
+    value: float = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+
+@dataclass
+class Histogram:
+    """A lightweight summary: count / total / min / max."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float | None = None
+    max: float | None = None
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def _key(name: str, labels: dict) -> tuple[str, _LabelKey]:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create store of labelled metrics, JSON-serializable."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, _LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        k = _key(name, labels)
+        c = self._counters.get(k)
+        if c is None:
+            c = self._counters[k] = Counter()
+        return c
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        k = _key(name, labels)
+        g = self._gauges.get(k)
+        if g is None:
+            g = self._gauges[k] = Gauge()
+        return g
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        k = _key(name, labels)
+        h = self._histograms.get(k)
+        if h is None:
+            h = self._histograms[k] = Histogram()
+        return h
+
+    # ------------------------------------------------------------------
+    def counter_total(self, name: str, **labels) -> int:
+        """Sum of a counter over all label sets matching ``labels``.
+
+        Matching is subset-based: ``counter_total("x", level="L1")``
+        sums every ``x`` counter whose labels include ``level=L1``.
+        """
+        want = set(_key(name, labels)[1])
+        return sum(c.value for (n, lk), c in self._counters.items()
+                   if n == name and want <= set(lk))
+
+    def snapshot(self) -> dict:
+        """Stable JSON-serializable view of every metric."""
+
+        def rows(store, fields):
+            out = []
+            for (name, lk) in sorted(store):
+                m = store[(name, lk)]
+                out.append({"name": name, "labels": dict(lk),
+                            **{f: getattr(m, f) for f in fields}})
+            return out
+
+        return {
+            "v": 1,
+            "counters": rows(self._counters, ("value",)),
+            "gauges": rows(self._gauges, ("value",)),
+            "histograms": rows(self._histograms,
+                               ("count", "total", "min", "max")),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=False)
+
+    def write(self, path: str | pathlib.Path) -> pathlib.Path:
+        """Write the snapshot as JSON, atomically."""
+        from repro.resilience.atomic import atomic_write_text
+
+        return atomic_write_text(path, self.to_json() + "\n")
+
+
+#: Installed registry; ``None`` means collection is disabled.
+_REGISTRY: MetricsRegistry | None = None
+
+
+def registry() -> MetricsRegistry | None:
+    """The installed registry, or ``None`` when collection is off."""
+    return _REGISTRY
+
+
+def enabled() -> bool:
+    return _REGISTRY is not None
+
+
+@contextlib.contextmanager
+def collect(reg: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Install a registry (a fresh one by default) for a ``with`` block."""
+    global _REGISTRY
+    prev = _REGISTRY
+    _REGISTRY = reg if reg is not None else MetricsRegistry()
+    try:
+        yield _REGISTRY
+    finally:
+        _REGISTRY = prev
+
+
+def inc(name: str, n: int = 1, **labels) -> None:
+    """Increment a counter on the installed registry (no-op when off)."""
+    r = _REGISTRY
+    if r is not None:
+        r.counter(name, **labels).inc(n)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    r = _REGISTRY
+    if r is not None:
+        r.gauge(name, **labels).set(value)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    r = _REGISTRY
+    if r is not None:
+        r.histogram(name, **labels).observe(value)

@@ -1,0 +1,54 @@
+"""Opt-in per-phase profiling: wall clock + ``tracemalloc`` peaks.
+
+Spans always time themselves (``dur_s`` on every ``span_end`` record);
+this module adds the expensive part — Python heap peaks via
+:mod:`tracemalloc` — behind the ``--profile`` flag. Tracing costs a
+constant factor on every allocation, which is why it is never on by
+default.
+
+Peak accounting caveat: :func:`tracemalloc.reset_peak` is global, so a
+span's reported peak is measured *since the most recent span boundary
+inside it*, not strictly since its own entry. For the coarse phases we
+profile (sweep > point > simulate) this matters little — the inner
+simulate phase dominates every peak — but nested peaks should be read
+as per-phase approximations, not exact high-water marks.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+__all__ = ["start", "stop", "is_active", "phase_enter", "phase_exit"]
+
+
+def start() -> None:
+    """Begin allocation tracing (idempotent)."""
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+
+
+def stop() -> None:
+    """End allocation tracing (idempotent)."""
+    if tracemalloc.is_tracing():
+        tracemalloc.stop()
+
+
+def is_active() -> bool:
+    return tracemalloc.is_tracing()
+
+
+def phase_enter() -> int:
+    """Mark a phase boundary; returns the current traced size (bytes)."""
+    if not tracemalloc.is_tracing():
+        return -1
+    current, _peak = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    return current
+
+def phase_exit(entry_current: int) -> float:
+    """Peak traced memory since :func:`phase_enter`, in KiB (rounded)."""
+    if entry_current < 0 or not tracemalloc.is_tracing():
+        return 0.0
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    return round(peak / 1024.0, 1)

@@ -1,0 +1,233 @@
+"""Render a run summary from a ``--log-json`` event file.
+
+``repro obs-report run.jsonl [--metrics metrics.json]`` answers the
+questions an experimenter asks after (or during) a sweep:
+
+* where did the time go? (slowest simulated points, per-phase totals)
+* how fast was the simulator? (addresses simulated per second)
+* what kind of misses dominate? (cold/conflict/capacity per level,
+  from the metrics snapshot)
+* did the run degrade? (retries, budget degradations, checkpoint
+  resumes/recoveries — the resilience timeline)
+
+The reader is deliberately tolerant of a *trailing* malformed line —
+the artifact a killed run can leave on non-atomic filesystems — and
+strict about anything else, mirroring the checkpoint journal's
+recovery contract.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+
+__all__ = ["RunSummary", "read_events", "read_metrics", "summarize",
+           "format_report", "obs_report"]
+
+log = logging.getLogger(__name__)
+
+
+def read_events(path: str | pathlib.Path) -> list[dict]:
+    """Parse a JSONL event file written by ``--log-json``.
+
+    A malformed trailing line is dropped (killed-run artifact); a
+    malformed interior line raises
+    :class:`~repro.errors.ExperimentError`.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no such event file: {path}")
+    raw = [ln for ln in path.read_text().splitlines() if ln.strip()]
+    events: list[dict] = []
+    for i, line in enumerate(raw):
+        try:
+            obj = json.loads(line)
+            if not isinstance(obj, dict) or "kind" not in obj:
+                raise ValueError("not an event record")
+        except ValueError as exc:
+            if i == len(raw) - 1:
+                log.warning("%s: dropping malformed trailing line %d (%s)",
+                            path, i + 1, exc)
+                break
+            raise ExperimentError(
+                f"{path} is corrupt at line {i + 1} "
+                f"(not the trailing line): {exc}") from None
+        events.append(obj)
+    return events
+
+
+def read_metrics(path: str | pathlib.Path) -> dict:
+    """Parse a ``--metrics`` JSON snapshot."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ExperimentError(f"no such metrics file: {path}")
+    try:
+        obj = json.loads(path.read_text())
+    except ValueError as exc:
+        raise ExperimentError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict) or "counters" not in obj:
+        raise ExperimentError(f"{path} is not a metrics snapshot")
+    return obj
+
+
+@dataclass
+class RunSummary:
+    """Everything :func:`format_report` renders."""
+
+    command: str = "?"
+    n_events: int = 0
+    wall_s: float | None = None
+    points: int = 0
+    degraded: int = 0
+    journal_hits: int = 0
+    simulations: int = 0
+    sim_seconds: float = 0.0
+    sim_refs: int = 0
+    retries: int = 0
+    checkpoint_resumed: int = 0
+    checkpoint_recovered: int = 0
+    #: (kernel, strategy, n, dur_s, refs) of the slowest simulations.
+    slowest: list[tuple] = field(default_factory=list)
+    #: span name -> peak tracemalloc KiB (only when profiled).
+    mem_peaks: dict[str, float] = field(default_factory=dict)
+    #: level -> {cls: count} from the metrics snapshot.
+    miss_classes: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: level -> {array: count} from the metrics snapshot.
+    miss_arrays: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def refs_per_second(self) -> float:
+        return self.sim_refs / self.sim_seconds if self.sim_seconds else 0.0
+
+
+def summarize(events: list[dict], metrics: dict | None = None,
+              top: int = 5) -> RunSummary:
+    """Fold an event stream (and optional metrics snapshot) into a summary."""
+    s = RunSummary(n_events=len(events))
+    sims: list[tuple] = []
+    for ev in events:
+        kind = ev.get("kind")
+        if kind == "span_end":
+            name = ev.get("name")
+            dur = float(ev.get("dur_s", 0.0))
+            if name == "run":
+                s.wall_s = dur
+                s.command = str(ev.get("command", s.command))
+            elif name == "point":
+                s.points += 1
+                if ev.get("degraded"):
+                    s.degraded += 1
+                if ev.get("source") == "journal":
+                    s.journal_hits += 1
+            elif name == "simulate":
+                s.simulations += 1
+                refs = int(ev.get("refs", 0))
+                s.sim_seconds += dur
+                s.sim_refs += refs
+                sims.append((ev.get("kernel", "?"), ev.get("strategy", "?"),
+                             ev.get("n", "?"), dur, refs))
+            peak = ev.get("mem_peak_kb")
+            if peak is not None and name is not None:
+                s.mem_peaks[name] = max(s.mem_peaks.get(name, 0.0),
+                                        float(peak))
+        elif kind == "span_start" and ev.get("name") == "run":
+            s.command = str(ev.get("command", s.command))
+        elif kind == "retry":
+            s.retries += 1
+        elif kind == "degraded":
+            pass  # the point span_end carries the degraded flag
+        elif kind == "checkpoint_resume":
+            s.checkpoint_resumed += int(ev.get("points", 0))
+        elif kind == "checkpoint_recovered":
+            s.checkpoint_recovered += 1
+    s.slowest = sorted(sims, key=lambda t: -t[3])[:top]
+
+    if metrics:
+        for row in metrics.get("counters", []):
+            labels = row.get("labels", {})
+            if row.get("name") == "repro.sim.miss_class":
+                lvl = labels.get("level", "?")
+                s.miss_classes.setdefault(lvl, {})[labels.get("cls", "?")] = \
+                    int(row.get("value", 0))
+            elif row.get("name") == "repro.sim.miss_array":
+                lvl = labels.get("level", "?")
+                s.miss_arrays.setdefault(lvl, {})[labels.get("array", "?")] = \
+                    int(row.get("value", 0))
+    return s
+
+
+def format_report(s: RunSummary) -> str:
+    """Render the summary as the ``obs-report`` plain-text output."""
+    from repro.experiments.report import format_table
+
+    parts: list[str] = []
+    head = [f"run: {s.command}", f"events: {s.n_events}"]
+    if s.wall_s is not None:
+        head.append(f"wall: {s.wall_s:.2f}s")
+    parts.append("  ".join(head))
+
+    parts.append(
+        f"points: {s.points} ({s.simulations} exact simulations, "
+        f"{s.journal_hits} from journal, {s.degraded} degraded)")
+    if s.sim_seconds:
+        parts.append(
+            f"throughput: {s.sim_refs} refs in {s.sim_seconds:.2f}s "
+            f"simulate time = {s.refs_per_second:,.0f} addrs/s")
+    if s.retries or s.checkpoint_resumed or s.checkpoint_recovered:
+        parts.append(
+            f"resilience: {s.retries} retries, "
+            f"{s.checkpoint_resumed} points resumed from checkpoint, "
+            f"{s.checkpoint_recovered} journal recoveries")
+
+    if s.slowest:
+        rows = [[k, st, n, f"{dur:.3f}", refs]
+                for k, st, n, dur, refs in s.slowest]
+        parts.append("")
+        parts.append(format_table(
+            ["Kernel", "Strategy", "N", "seconds", "refs"], rows,
+            title="Slowest simulated points"))
+
+    if s.miss_classes:
+        from repro.cache.classify import MISS_CLASSES
+
+        rows = []
+        for lvl in sorted(s.miss_classes):
+            by = s.miss_classes[lvl]
+            total = sum(by.values())
+            rows.append([lvl,
+                         *(by.get(c, 0) for c in MISS_CLASSES),
+                         total])
+        parts.append("")
+        parts.append(format_table(
+            ["Level", *MISS_CLASSES, "total"], rows,
+            title="Miss classification (all simulated points)"))
+
+    if s.miss_arrays:
+        rows = [[lvl, arr, cnt]
+                for lvl in sorted(s.miss_arrays)
+                for arr, cnt in sorted(s.miss_arrays[lvl].items())]
+        parts.append("")
+        parts.append(format_table(["Level", "Array", "misses"], rows,
+                                  title="Misses by array"))
+
+    if s.mem_peaks:
+        rows = [[name, f"{kb:.1f}"]
+                for name, kb in sorted(s.mem_peaks.items(),
+                                       key=lambda kv: -kv[1])]
+        parts.append("")
+        parts.append(format_table(["Span", "peak KiB"], rows,
+                                  title="Peak traced memory per phase"))
+    return "\n".join(parts)
+
+
+def obs_report(events_path: str | pathlib.Path,
+               metrics_path: str | pathlib.Path | None = None,
+               top: int = 5) -> str:
+    """End-to-end: read files, summarize, render."""
+    events = read_events(events_path)
+    metrics = read_metrics(metrics_path) if metrics_path else None
+    return format_report(summarize(events, metrics, top=top))

@@ -19,6 +19,7 @@ the analytic miss model instead (see ``run_point_resilient``).
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
@@ -28,6 +29,8 @@ from repro.errors import BudgetExceededError, ConfigurationError, RetryableError
 __all__ = ["PointBudget", "Deadline", "run_with_retries"]
 
 T = TypeVar("T")
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -97,9 +100,19 @@ def run_with_retries(fn: Callable[[], T], budget: PointBudget,
     while True:
         try:
             return fn()
-        except RetryableError:
+        except RetryableError as exc:
             if attempt >= budget.max_retries:
                 raise
+            # Lazy import: obs depends on resilience.atomic, so the
+            # reverse edge must not exist at module import time.
+            from repro.obs import events, metrics
+
+            log.warning("retryable failure (attempt %d/%d): %s",
+                        attempt + 1, budget.max_retries, exc)
+            events.emit("retry", attempt=attempt + 1,
+                        max_retries=budget.max_retries,
+                        error=type(exc).__name__)
+            metrics.inc("repro.resilience.retries")
             if budget.backoff_seconds:
                 sleep(budget.backoff_seconds * (2 ** attempt))
             attempt += 1

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import pathlib
 import warnings
 from typing import Any, Iterable, Mapping
@@ -41,6 +42,8 @@ from repro.resilience.atomic import atomic_write_text
 __all__ = ["CheckpointJournal", "CheckpointWarning", "fingerprint"]
 
 _FORMAT_VERSION = 1
+
+log = logging.getLogger(__name__)
 
 
 class CheckpointWarning(UserWarning):
@@ -72,10 +75,16 @@ def _parse_lines(path: pathlib.Path) -> list[dict]:
                 raise ValueError("not a journal record")
         except ValueError as exc:
             if i == len(raw) - 1:
+                # Lazy import: obs depends on resilience.atomic, so the
+                # reverse edge must not exist at module import time.
+                from repro.obs import events
+
                 warnings.warn(
                     f"checkpoint {path}: dropping malformed trailing line "
                     f"{i + 1} ({exc}); the interrupted point will be re-run",
                     CheckpointWarning, stacklevel=3)
+                events.emit("checkpoint_recovered", path=str(path),
+                            line=i + 1)
                 break
             raise CheckpointError(
                 f"checkpoint {path} is corrupt at line {i + 1} "
@@ -136,6 +145,15 @@ class CheckpointJournal:
                     f"checkpoint {path}: unexpected record kind "
                     f"{rec.get('kind')!r}")
             records[tuple(rec["key"])] = rec.get("payload", {})
+        if records:
+            from repro.obs import events, metrics
+
+            log.info("resuming from checkpoint %s: %d points already done",
+                     path, len(records))
+            events.emit("checkpoint_resume", path=str(path),
+                        points=len(records))
+            metrics.inc("repro.resilience.checkpoint.resumed_points",
+                        len(records))
         return cls(path, fp, records)
 
     # ------------------------------------------------------------------
@@ -162,8 +180,11 @@ class CheckpointJournal:
 
     def record(self, key: Iterable, payload: Mapping[str, Any]) -> None:
         """Journal one completed unit of work (atomically durable)."""
+        from repro.obs import metrics
+
         self._records[tuple(key)] = dict(payload)
         self._flush()
+        metrics.inc("repro.resilience.checkpoint.records")
 
     # ------------------------------------------------------------------
     def _flush(self) -> None:

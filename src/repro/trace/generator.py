@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import TraceError
 from repro.layout.array import ArraySpec
+from repro.obs import metrics
 
 __all__ = ["Ref", "trace_chunks", "kernel_refs", "count_refs"]
 
@@ -77,4 +78,6 @@ def trace_chunks(iter_chunks, refs: list[Ref],
                                             j + (ref.oj - 1),
                                             k + (ref.ok - 1))
             addrs[:, col] *= spec.elem_bytes
+        metrics.inc("repro.trace.chunks")
+        metrics.inc("repro.trace.addresses", n * nrefs)
         yield addrs.reshape(-1), np.tile(wmask_row, n)

@@ -104,3 +104,59 @@ class TestStats:
         st = h.stats()
         assert st.demand_refs == 0
         assert st.levels[0][1].accesses == 0
+
+
+class TestInvalidate:
+    """Regression tests for the reset-vs-invalidate stats trap.
+
+    A level's bare ``reset()`` mid-stream used to silently drop its
+    accumulated statistics from the hierarchy's totals while the
+    hierarchy kept counting references — denominators no longer matched
+    numerators. ``CacheHierarchy.invalidate`` is the explicit,
+    stats-preserving way to model a mid-stream cold restart.
+    """
+
+    def test_invalidate_preserves_stats(self):
+        h = CacheHierarchy(levels())
+        h.access(np.array([0, 0, 16]))
+        before = h.stats()
+        h.invalidate()
+        mid = h.stats()
+        assert mid.levels[0][1].accesses == before.levels[0][1].accesses
+        assert mid.levels[0][1].misses == before.levels[0][1].misses
+        # Contents are gone: a re-access of a previously hot line misses.
+        h.access(np.array([0]))
+        after = h.stats()
+        assert after.levels[0][1].accesses == 4
+        assert after.levels[0][1].misses == before.levels[0][1].misses + 1
+        assert after.demand_refs == 4  # denominator still matches
+
+    def test_invalidate_single_level(self):
+        h = CacheHierarchy(levels())
+        h.access(np.array([0, 0]))
+        h.invalidate(level=0)
+        h.access(np.array([0]))  # misses L1 (flushed), hits L2 (kept)
+        st = h.stats()
+        assert st.levels[0][1].misses == 2
+        assert st.levels[1][1].accesses == 2
+        assert st.levels[1][1].misses == 1
+
+    def test_bare_level_reset_is_the_documented_trap(self):
+        # The behaviour the explicit API exists to avoid: resetting a
+        # *level* zeroes its stats while hierarchy counters keep going.
+        h = CacheHierarchy(levels())
+        h.access(np.array([0, 0, 16]))
+        h._levels[0].reset()
+        st = h.stats()
+        assert st.demand_refs == 3
+        assert st.levels[0][1].accesses == 0  # mismatch, by design of reset
+
+    def test_hierarchy_reset_also_clears_carry(self):
+        h = CacheHierarchy(levels())
+        h.access(np.array([0, 16]))
+        h.invalidate()
+        h.reset()
+        st = h.stats()
+        assert st.demand_refs == 0
+        assert st.levels[0][1].accesses == 0
+        assert st.levels[0][1].misses == 0

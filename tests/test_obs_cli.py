@@ -1,0 +1,135 @@
+"""End-to-end CLI tests for the observability flags and obs-report."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import runner
+from repro.obs.report import read_events, read_metrics, summarize
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    """One instrumented tiny table3 run; yields (events_path, metrics_path)."""
+    runner.clear_cache()  # force exact simulations regardless of test order
+    ev = tmp_path / "run.jsonl"
+    mx = tmp_path / "metrics.json"
+    rc = main(["table3", "--n", "8",
+               "--log-json", str(ev), "--metrics", str(mx), "--profile"])
+    assert rc == 0
+    return ev, mx
+
+
+class TestInstrumentedRun:
+    def test_event_file_covers_the_pipeline(self, artifacts):
+        ev, _ = artifacts
+        events = read_events(ev)
+        assert all(e["v"] == 1 for e in events)
+        ends = {}
+        for e in events:
+            if e["kind"] == "span_end":
+                ends[e["name"]] = ends.get(e["name"], 0) + 1
+        assert ends["run"] == 1
+        assert ends["sweep"] == 3          # one per kernel
+        assert ends["point"] == 18         # 3 kernels x 6 strategies
+        assert ends["simulate"] == ends["point"]  # nothing memoized
+        sim = next(e for e in events
+                   if e["kind"] == "span_end" and e["name"] == "simulate")
+        assert sim["span"] == "run/sweep/point"
+        assert sim["refs"] > 0 and sim["dur_s"] > 0
+        assert "mem_peak_kb" in sim  # --profile was on
+
+    def test_miss_class_sums_equal_misses(self, artifacts):
+        _, mx = artifacts
+        snap = read_metrics(mx)
+        misses, classified = {}, {}
+        for c in snap["counters"]:
+            lvl = c["labels"].get("level")
+            if c["name"] == "repro.sim.misses":
+                misses[lvl] = c["value"]
+            elif c["name"] == "repro.sim.miss_class":
+                classified[lvl] = classified.get(lvl, 0) + c["value"]
+        assert misses and misses == classified
+
+    def test_runner_modes_counted(self, artifacts):
+        _, mx = artifacts
+        snap = read_metrics(mx)
+        points = sum(c["value"] for c in snap["counters"]
+                     if c["name"] == "repro.runner.points")
+        assert points == 18
+
+    def test_obs_report_renders(self, artifacts, capsys):
+        ev, mx = artifacts
+        rc = main(["obs-report", str(ev), "--metrics", str(mx)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "points: 18 (18 exact simulations" in out
+        assert "Slowest simulated points" in out
+        assert "Miss classification" in out
+        assert "Misses by array" in out
+        assert "Peak traced memory per phase" in out
+
+    def test_summarize_totals(self, artifacts):
+        ev, mx = artifacts
+        s = summarize(read_events(ev), read_metrics(mx))
+        assert s.points == 18 and s.simulations == 18
+        assert s.degraded == 0 and s.wall_s is not None
+        assert s.sim_refs > 0 and s.refs_per_second > 0
+        assert set(s.miss_classes) == {"L1", "L2"}
+
+
+class TestUsageErrors:
+    def test_profile_requires_log_json(self):
+        assert main(["table3", "--n", "8", "--profile"]) == 2
+
+    def test_obs_report_missing_file(self, tmp_path):
+        assert main(["obs-report", str(tmp_path / "none.jsonl")]) == 2
+
+    def test_obs_report_bad_top(self, tmp_path):
+        ev = tmp_path / "run.jsonl"
+        ev.write_text('{"kind": "x"}\n')
+        assert main(["obs-report", str(ev), "--top", "0"]) == 2
+
+    def test_obs_report_corrupt_interior(self, tmp_path):
+        ev = tmp_path / "run.jsonl"
+        ev.write_text('garbage\n{"kind": "x"}\n')
+        assert main(["obs-report", str(ev)]) == 2
+
+
+class TestQuietRun:
+    def test_without_flags_no_artifacts_and_stdout_clean(self, tmp_path,
+                                                         capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["simulate", "--kernel", "JACOBI", "--strategy", "Orig",
+                   "--n", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "L1 miss rate" in out
+        assert not list(tmp_path.iterdir())  # no stray artifact files
+
+    def test_checkpoint_resume_event(self, tmp_path):
+        runner.clear_cache()
+        ev1 = tmp_path / "r1.jsonl"
+        ck = tmp_path / "ck.jsonl"
+        assert main(["table3", "--n", "8", "--checkpoint", str(ck),
+                     "--log-json", str(ev1)]) == 0
+        ev2 = tmp_path / "r2.jsonl"
+        assert main(["table3", "--n", "8", "--checkpoint", str(ck),
+                     "--resume", "--log-json", str(ev2)]) == 0
+        events = read_events(ev2)
+        resumes = [e for e in events if e["kind"] == "checkpoint_resume"]
+        assert resumes and resumes[0]["points"] == 18
+        s = summarize(events)
+        assert s.journal_hits == 18 and s.simulations == 0
+
+
+def test_events_are_json_serializable_all_the_way(tmp_path):
+    """No repr-fallback records in a normal run (schema stays parseable)."""
+    runner.clear_cache()
+    ev = tmp_path / "run.jsonl"
+    assert main(["simulate", "--kernel", "RESID", "--strategy", "Pad",
+                 "--n", "8", "--log-json", str(ev)]) == 0
+    for line in ev.read_text().splitlines():
+        rec = json.loads(line)
+        assert isinstance(rec, dict) and "kind" in rec

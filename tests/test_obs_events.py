@@ -1,0 +1,148 @@
+"""Tests for the event bus: spans, sinks, schema, disabled-path cost."""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.obs import events
+from repro.obs.events import EventBus, JsonlSink, MemorySink, NullSink
+from repro.obs.report import read_events
+
+
+class TestBus:
+    def test_emit_stamps_schema_fields(self):
+        sink = MemorySink()
+        bus = EventBus(sink)
+        bus.emit("ping", x=1)
+        (rec,) = sink.records
+        assert rec["v"] == events.SCHEMA_VERSION
+        assert rec["kind"] == "ping" and rec["x"] == 1
+        assert rec["seq"] == 0 and rec["span"] == ""
+        assert isinstance(rec["ts"], float) and rec["t"] >= 0
+
+    def test_seq_is_monotonic(self):
+        sink = MemorySink()
+        bus = EventBus(sink)
+        for _ in range(5):
+            bus.emit("tick")
+        assert [r["seq"] for r in sink.records] == list(range(5))
+
+    def test_span_nesting_and_path(self):
+        sink = MemorySink()
+        bus = EventBus(sink)
+        with bus.span("sweep", kernel="JACOBI"):
+            with bus.span("point", n=64):
+                bus.emit("inner")
+        kinds = [(r["kind"], r.get("name"), r["span"]) for r in sink.records]
+        # A span_end's path is its *enclosing* path (emitted after the
+        # stack pops), matching its own span_start.
+        assert kinds == [
+            ("span_start", "sweep", ""),
+            ("span_start", "point", "sweep"),
+            ("inner", None, "sweep/point"),
+            ("span_end", "point", "sweep"),
+            ("span_end", "sweep", ""),
+        ]
+        end = sink.records[3]
+        assert end["n"] == 64 and end["dur_s"] >= 0
+
+    def test_span_out_fields_land_on_span_end(self):
+        sink = MemorySink()
+        bus = EventBus(sink)
+        with bus.span("simulate") as sp:
+            sp["refs"] = 123
+        assert sink.records[-1]["refs"] == 123
+
+    def test_span_error_field(self):
+        sink = MemorySink()
+        bus = EventBus(sink)
+        with pytest.raises(ValueError):
+            with bus.span("simulate"):
+                raise ValueError("boom")
+        end = sink.records[-1]
+        assert end["kind"] == "span_end" and end["error"] == "ValueError"
+
+    def test_use_installs_and_restores_global_bus(self):
+        sink = MemorySink()
+        prev = events.get_bus()
+        with events.use(EventBus(sink)):
+            events.emit("hello")
+            with events.span("s"):
+                pass
+        assert events.get_bus() is prev
+        assert [r["kind"] for r in sink.records] == \
+            ["hello", "span_start", "span_end"]
+
+    def test_disabled_bus_emits_nothing(self):
+        bus = EventBus()
+        assert not bus.enabled and isinstance(bus.sink, NullSink)
+        bus.emit("ignored")
+        cm = bus.span("ignored")
+        with cm as sp:
+            sp["x"] = 1  # the dict goes nowhere
+        assert bus.span("again") is cm  # shared no-op handle
+
+
+class TestJsonlSink:
+    def test_round_trip_through_read_events(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        bus = EventBus(JsonlSink(path))
+        with events.use(bus):
+            with events.span("run", command="test"):
+                events.emit("retry", attempt=1)
+        bus.close()
+        evs = read_events(path)
+        assert [e["kind"] for e in evs] == ["span_start", "retry", "span_end"]
+        assert evs[-1]["command"] == "test"
+
+    def test_flush_every_keeps_file_parseable(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path, flush_every=2)
+        bus = EventBus(sink)
+        bus.emit("a")
+        bus.emit("b")  # triggers flush
+        bus.emit("c")  # buffered, not yet on disk
+        on_disk = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert [r["kind"] for r in on_disk] == ["a", "b"]
+        bus.close()
+        assert len(read_events(path)) == 3
+
+
+class TestReadEvents:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            read_events(tmp_path / "nope.jsonl")
+
+    def test_trailing_garbage_is_dropped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "a"}\n{"kind": "b"\n')
+        evs = read_events(path)
+        assert [e["kind"] for e in evs] == ["a"]
+
+    def test_interior_garbage_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('not json\n{"kind": "a"}\n')
+        with pytest.raises(ExperimentError):
+            read_events(path)
+
+
+class TestDisabledOverhead:
+    def test_disabled_hooks_are_cheap(self):
+        """Smoke bound on the disabled fast path.
+
+        The contract is "one branch per call"; the assertion is a very
+        generous absolute bound (microseconds per call) so the test
+        stays robust on loaded CI machines while still catching a
+        regression that makes the disabled path do real work.
+        """
+        from repro.obs import metrics
+
+        n = 50_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            events.emit("never", x=1)
+            metrics.inc("repro.never")
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 0.05 * n * 1e-3  # < 50 us/call pair, ~100x slack
