@@ -15,10 +15,15 @@ Exposes the library's main entry points without writing any Python:
 ``--full`` switches to the paper's sweep density (equivalent to setting
 ``REPRO_FULL=1``). The sweep commands (``table3``, ``figures``) accept
 ``--checkpoint PATH`` to journal completed points and resume after an
-interruption, ``--resume`` to insist the journal already exists, and
-``--budget SECONDS`` to cap each point's exact simulation (over-budget
-points degrade to the analytic miss model and are flagged in the
-output). Usage errors exit with code 2 and a one-line message.
+interruption, ``--resume`` to insist the journal already exists,
+``--resume-force`` to adopt a journal whose config fingerprint does not
+match this run, and ``--budget SECONDS`` to cap each point's exact
+simulation (over-budget points degrade to the analytic miss model and
+are flagged in the output). ``--parallel N`` fans sweep points out to N
+supervised worker processes — a crashed, hung, or over-
+``--point-timeout`` worker is SIGKILLed, retried, and finally
+quarantined to the analytic model, so the sweep always completes with a
+full result set. Usage errors exit with code 2 and a one-line message.
 
 Observability (every command, flags go after the subcommand name):
 ``--log-json PATH`` records the run's structured event timeline as
@@ -84,10 +89,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="require that --checkpoint already exists "
                              "(guards against typos silently starting "
                              "a fresh sweep)")
+        sp.add_argument("--resume-force", action="store_true",
+                        help="adopt a --checkpoint journal even when its "
+                             "config fingerprint does not match this run "
+                             "(its points are trusted as-is)")
         sp.add_argument("--budget", type=float, metavar="SECONDS",
                         help="per-point wall-clock budget; over-budget "
                              "points degrade to the analytic miss model "
                              "and are marked degraded")
+        sp.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="run sweep points in N supervised worker "
+                             "processes (default 1 = serial); failing "
+                             "points are retried, then quarantined to "
+                             "the analytic model")
+        sp.add_argument("--point-timeout", type=float, metavar="SECONDS",
+                        help="hard per-point wall clock: with --parallel "
+                             "the worker is SIGKILLed on expiry; "
+                             "serially it acts as a wall budget")
 
     sp = sub.add_parser("select", help="run one tile-selection strategy",
                         parents=[obsopts])
@@ -205,20 +223,37 @@ def _validate(args) -> None:
             raise ExperimentError(
                 f"--resume: checkpoint {args.checkpoint} does not exist; "
                 f"drop --resume to start a fresh journaled sweep")
+    if getattr(args, "resume_force", False) and not getattr(
+            args, "checkpoint", None):
+        raise ExperimentError("--resume-force requires --checkpoint PATH")
     if getattr(args, "budget", None) is not None and args.budget <= 0:
         raise ConfigurationError(
             f"--budget must be positive seconds, got {args.budget}")
+    if getattr(args, "parallel", 1) < 1:
+        raise ConfigurationError(
+            f"--parallel must be >= 1, got {args.parallel}")
+    if getattr(args, "point_timeout", None) is not None \
+            and args.point_timeout <= 0:
+        raise ConfigurationError(
+            f"--point-timeout must be positive seconds, "
+            f"got {args.point_timeout}")
 
 
 def _resilience_kwargs(args) -> dict:
-    """checkpoint/budget keywords for table3()/figure_series()."""
+    """checkpoint/budget/parallel keywords for table3()/figure_series()."""
     kwargs: dict = {}
     if getattr(args, "checkpoint", None):
         kwargs["checkpoint"] = args.checkpoint
+    if getattr(args, "resume_force", False):
+        kwargs["resume_force"] = True
     if getattr(args, "budget", None):
         from repro.resilience import PointBudget
 
         kwargs["budget"] = PointBudget(wall_seconds=args.budget)
+    if getattr(args, "parallel", 1) != 1:
+        kwargs["parallel"] = args.parallel
+    if getattr(args, "point_timeout", None) is not None:
+        kwargs["point_timeout"] = args.point_timeout
     return kwargs
 
 

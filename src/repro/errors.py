@@ -64,8 +64,15 @@ class BudgetExceededError(ReproError):
 
 class CheckpointError(ExperimentError):
     """A checkpoint journal is unusable: missing header, corrupted
-    beyond the recoverable trailing line, or written under a different
-    configuration fingerprint than the resuming run's."""
+    beyond the recoverable trailing line, written by a newer format
+    version, or written under a different configuration fingerprint
+    than the resuming run's (override with ``--resume-force``)."""
+
+
+class PoolError(ExperimentError):
+    """The supervised worker pool was misused (duplicate task keys,
+    unusable platform) — distinct from worker *failures*, which are
+    retried and quarantined rather than raised."""
 
 
 class ConvergenceError(ReproError):

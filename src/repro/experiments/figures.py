@@ -49,11 +49,15 @@ class FigureData:
 
 def figure_series(kernel: str, sizes: list[int] | None = None,
                   cfg: ExperimentConfig | None = None,
-                  checkpoint=None, budget=None) -> FigureData:
+                  checkpoint=None, budget=None,
+                  parallel: int = 1, point_timeout: float | None = None,
+                  resume_force: bool = False) -> FigureData:
     """Miss-rate and MFlops series for Figures 14-19.
 
     ``checkpoint``/``budget`` run the sweep resiliently (resume after
-    interruption, degrade over-budget points to the analytic model).
+    interruption, degrade over-budget points to the analytic model);
+    ``parallel``/``point_timeout`` fan points out to supervised worker
+    processes (see :func:`repro.experiments.runner.sweep`).
     """
     cfg = cfg or ExperimentConfig()
     sizes = sizes or default_sizes()
@@ -62,7 +66,10 @@ def figure_series(kernel: str, sizes: list[int] | None = None,
              kernel, len(strategies), len(sizes))
     return FigureData(kernel=kernel, sizes=sizes,
                       points=sweep(kernel, strategies, sizes, cfg,
-                                   checkpoint=checkpoint, budget=budget))
+                                   checkpoint=checkpoint, budget=budget,
+                                   parallel=parallel,
+                                   point_timeout=point_timeout,
+                                   resume_force=resume_force))
 
 
 def large_resid_series(sizes: list[int] | None = None,

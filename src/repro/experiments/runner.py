@@ -30,6 +30,18 @@ behaviours on top:
   (:mod:`repro.core.missmodel`) instead of failing the sweep. Degraded
   points carry ``degraded=True`` so reports and CSV exports keep exact
   and modeled numbers distinguishable.
+
+Parallel execution (``sweep(..., parallel=N, point_timeout=S)``) runs
+points in supervised child processes (:mod:`repro.resilience.pool`):
+crashes, OOM kills, and hangs that no in-process budget can preempt are
+isolated per point, retried, and finally **quarantined** to the same
+analytic fallback, so a sweep always returns a full result set. The
+supervisor stays the single journal writer and validates every worker
+payload by round-trip before recording it; serial and parallel runs
+share the same journal format and ``config_fingerprint``, so either can
+resume the other's checkpoint. ``parallel=1`` (the default), a platform
+without multiprocessing, or a missing ``fork``/``spawn`` start method
+all take the unchanged serial path.
 """
 
 from __future__ import annotations
@@ -40,6 +52,7 @@ import os
 import time
 from dataclasses import asdict, dataclass
 from functools import lru_cache
+from typing import Mapping
 
 from repro.cache.classify import MissClassifier
 from repro.cache.hierarchy import CacheHierarchy
@@ -48,6 +61,7 @@ from repro.core.selector import select
 from repro.errors import (
     BudgetExceededError,
     CheckpointError,
+    ConfigurationError,
     ExperimentError,
     RetryableError,
 )
@@ -324,15 +338,16 @@ def config_fingerprint(cfg: ExperimentConfig) -> str:
     })
 
 
-def open_journal(path, cfg: ExperimentConfig | None = None
-                 ) -> CheckpointJournal:
+def open_journal(path, cfg: ExperimentConfig | None = None, *,
+                 force: bool = False) -> CheckpointJournal:
     """Open/create a checkpoint journal bound to ``cfg``'s fingerprint.
 
     Raises :class:`~repro.errors.CheckpointError` when ``path`` holds a
-    journal written under a different configuration.
+    journal written under a different configuration; ``force`` (the
+    CLI's ``--resume-force``) adopts such a journal with a warning.
     """
     return CheckpointJournal.open(
-        path, config_fingerprint(cfg or ExperimentConfig()))
+        path, config_fingerprint(cfg or ExperimentConfig()), force=force)
 
 
 def _point_to_payload(p: PointResult) -> dict:
@@ -351,6 +366,93 @@ def _point_from_payload(payload: dict) -> PointResult:
         ) from None
 
 
+#: PointResult fields that must round-trip as real numbers / integers.
+_FLOAT_FIELDS = ("l1_rate", "l2_rate", "mflops", "seconds")
+_INT_FIELDS = ("n", "nk", "l1_misses", "l2_misses", "refs", "di_p", "dj_p")
+
+
+def _check_payload(key, payload) -> PointResult:
+    """Round-trip + type validation of a point payload for ``key``.
+
+    Worker payloads (and journal records) are only trusted after they
+    reconstruct into a :class:`PointResult` whose identity matches the
+    task key and whose fields carry the right types — a truncated or
+    type-mangled payload from a dying worker raises
+    :class:`~repro.errors.CheckpointError` and is treated as a failed
+    attempt, never journaled.
+    """
+    if not isinstance(payload, Mapping):
+        raise CheckpointError(
+            f"point payload for {key!r} is {type(payload).__name__}, "
+            f"not a mapping")
+    expected = set(PointResult.__dataclass_fields__)
+    got = set(payload)
+    if got != expected:
+        # asdict always emits every field, so any difference means a
+        # truncated or garbage-extended payload (defaults would other-
+        # wise mask a missing 'degraded').
+        missing, extra = sorted(expected - got), sorted(got - expected)
+        raise CheckpointError(
+            f"point payload for {key!r} has wrong fields "
+            f"(missing {missing}, unexpected {extra})")
+    result = _point_from_payload(payload)
+    if (result.kernel, result.strategy, result.n) != tuple(key):
+        raise CheckpointError(
+            f"point payload identity "
+            f"{(result.kernel, result.strategy, result.n)!r} does not "
+            f"match its key {tuple(key)!r}")
+    for name in _FLOAT_FIELDS:
+        v = getattr(result, name)
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            raise CheckpointError(
+                f"point payload field {name!r} is "
+                f"{type(v).__name__}, expected a number")
+    for name in _INT_FIELDS:
+        v = getattr(result, name)
+        if isinstance(v, bool) or not isinstance(v, int):
+            raise CheckpointError(
+                f"point payload field {name!r} is "
+                f"{type(v).__name__}, expected an int")
+    if not isinstance(result.degraded, bool):
+        raise CheckpointError("point payload field 'degraded' must be a bool")
+    tile = result.tile
+    if tile is not None and (len(tile) != 2 or not all(
+            isinstance(t, int) and not isinstance(t, bool) for t in tile)):
+        raise CheckpointError(
+            f"point payload field 'tile' is {tile!r}, expected None "
+            f"or two ints")
+    return result
+
+
+def _compute_point(kernel: str, strategy: str, n: int,
+                   cfg: ExperimentConfig,
+                   budget: PointBudget | None) -> PointResult:
+    """Exact simulation under ``budget``, degrading to the model.
+
+    The shared core of serial resilient execution and the pool worker:
+    retryable failures retry with backoff; budget exhaustion (or
+    exhausted retries) degrades to the analytic miss model with
+    ``degraded=True``.
+    """
+    budget = budget or PointBudget()
+    clock = faults.active_clock()
+    try:
+        result = run_with_retries(
+            lambda: _simulate_exact(kernel, strategy, n, cfg,
+                                    budget=budget, clock=clock),
+            budget, sleep=faults.active_sleep())
+        metrics.inc("repro.runner.points", mode="exact")
+        return result
+    except (BudgetExceededError, RetryableError) as exc:
+        log.warning("point %s/%s/N=%d degraded to the analytic model "
+                    "(%s: %s)", kernel, strategy, n,
+                    type(exc).__name__, exc)
+        events.emit("degraded", kernel=kernel, strategy=strategy, n=n,
+                    reason=type(exc).__name__)
+        metrics.inc("repro.resilience.degraded")
+        return run_point_analytic(kernel, strategy, n, cfg)
+
+
 def run_point_resilient(kernel: str, strategy: str, n: int,
                         cfg: ExperimentConfig | None = None,
                         budget: PointBudget | None = None,
@@ -366,7 +468,6 @@ def run_point_resilient(kernel: str, strategy: str, n: int,
     journaled before returning, so progress survives the next crash.
     """
     cfg = cfg or ExperimentConfig()
-    budget = budget or PointBudget()
     key = (kernel, strategy, n)
     with events.span("point", kernel=kernel, strategy=strategy, n=n) as sp:
         if journal is not None:
@@ -378,32 +479,96 @@ def run_point_resilient(kernel: str, strategy: str, n: int,
                 metrics.inc("repro.runner.points", mode="journal")
                 return result
 
-        clock = faults.active_clock()
-        try:
-            result = run_with_retries(
-                lambda: _simulate_exact(kernel, strategy, n, cfg,
-                                        budget=budget, clock=clock),
-                budget, sleep=faults.active_sleep())
-            metrics.inc("repro.runner.points", mode="exact")
-        except (BudgetExceededError, RetryableError) as exc:
-            log.warning("point %s/%s/N=%d degraded to the analytic model "
-                        "(%s: %s)", kernel, strategy, n,
-                        type(exc).__name__, exc)
-            events.emit("degraded", kernel=kernel, strategy=strategy, n=n,
-                        reason=type(exc).__name__)
-            metrics.inc("repro.resilience.degraded")
-            result = run_point_analytic(kernel, strategy, n, cfg)
-
+        result = _compute_point(kernel, strategy, n, cfg, budget)
         sp["degraded"] = result.degraded
         if journal is not None:
             journal.record(key, _point_to_payload(result))
         return result
 
 
+def _pool_point_task(args) -> dict:
+    """Worker-side pool entry: compute one point, return its payload.
+
+    Runs in a child process (crash/OOM/hang isolation); must stay a
+    module-level function so ``spawn`` platforms can pickle it. The
+    supervisor round-trips the payload through :func:`_check_payload`
+    before trusting it.
+    """
+    kernel, strategy, n, cfg, budget = args
+    return _point_to_payload(_compute_point(kernel, strategy, n, cfg, budget))
+
+
+def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
+                    cfg: ExperimentConfig, *,
+                    journal: CheckpointJournal | None,
+                    budget: PointBudget | None,
+                    workers: int,
+                    point_timeout: float | None
+                    ) -> dict[str, list[PointResult]]:
+    """Run sweep points through the supervised process pool.
+
+    Journal hits are served without spawning a worker; everything else
+    fans out. The supervisor validates every payload, records it to the
+    journal (single writer), and quarantines repeatedly-failing points
+    to the analytic model — the sweep always returns a full grid.
+    """
+    from repro.resilience.pool import PoolPolicy, run_supervised
+
+    results: dict[tuple, PointResult] = {}
+    tasks: list[tuple[tuple, tuple]] = []
+    for strategy in strategies:
+        for n in sizes:
+            key = (kernel, strategy, n)
+            payload = journal.get(key) if journal is not None else None
+            if payload is not None:
+                results[key] = _check_payload(key, payload)
+                metrics.inc("repro.runner.points", mode="journal")
+                events.emit("point", kernel=kernel, strategy=strategy, n=n,
+                            degraded=results[key].degraded, source="journal")
+            else:
+                tasks.append((key, (kernel, strategy, n, cfg, budget)))
+
+    retry_policy = budget or PointBudget()
+    policy = PoolPolicy(workers=workers, point_timeout=point_timeout,
+                        max_retries=retry_policy.max_retries,
+                        backoff_seconds=retry_policy.backoff_seconds)
+
+    def fallback(key, args) -> dict:
+        k, s, n, cfg_, _ = args
+        return _point_to_payload(run_point_analytic(k, s, n, cfg_))
+
+    def on_result(key, payload, quarantined) -> None:
+        result = _check_payload(key, payload)
+        results[key] = result
+        if not quarantined:
+            # Quarantined fallbacks already counted mode="analytic"
+            # inside run_point_analytic (supervisor side).
+            metrics.inc("repro.runner.points",
+                        mode="analytic" if result.degraded else "exact")
+        events.emit("point", kernel=key[0], strategy=key[1], n=key[2],
+                    degraded=result.degraded,
+                    source="quarantine" if quarantined else "worker")
+        if journal is not None:
+            journal.record(key, payload)
+
+    if tasks:
+        log.info("parallel sweep %s: %d points across %d workers "
+                 "(timeout %s)", kernel, len(tasks), workers,
+                 f"{point_timeout}s" if point_timeout else "none")
+        run_supervised(_pool_point_task, tasks, policy,
+                       validate=_check_payload, fallback=fallback,
+                       on_result=on_result)
+    return {s: [results[(kernel, s, n)] for n in sizes]
+            for s in strategies}
+
+
 def sweep(kernel: str, strategies: list[str], sizes: list[int],
           cfg: ExperimentConfig | None = None, *,
           checkpoint: "str | os.PathLike | CheckpointJournal | None" = None,
-          budget: PointBudget | None = None
+          budget: PointBudget | None = None,
+          parallel: int = 1,
+          point_timeout: float | None = None,
+          resume_force: bool = False
           ) -> dict[str, list[PointResult]]:
     """Run a full (strategy x size) sweep for one kernel.
 
@@ -412,19 +577,50 @@ def sweep(kernel: str, strategies: list[str], sizes: list[int],
     through :func:`run_point_resilient`: completed points are skipped
     on resume and over-budget points degrade to the analytic model.
     Without either, the fast memoized path is used unchanged.
+
+    ``parallel > 1`` fans points out to that many supervised worker
+    processes (:mod:`repro.resilience.pool`): a crashed, hung, or
+    over-``point_timeout`` worker is SIGKILLed, retried, and finally
+    quarantined to the analytic model, and the supervisor remains the
+    single journal writer. Serial and parallel runs resume each other's
+    checkpoints interchangeably. Where multiprocessing is unavailable
+    the sweep degrades to the serial path (``point_timeout`` then
+    applies as a per-point wall-clock budget).
     """
     cfg = cfg or ExperimentConfig()
+    if parallel < 1:
+        raise ConfigurationError(f"parallel must be >= 1, got {parallel}")
+    if point_timeout is not None and point_timeout <= 0:
+        raise ConfigurationError(
+            f"point_timeout must be positive, got {point_timeout}")
     log.debug("sweep %s: %d strategies x %d sizes", kernel,
               len(strategies), len(sizes))
     with events.span("sweep", kernel=kernel, strategies=len(strategies),
-                     sizes=len(sizes)):
-        if checkpoint is None and budget is None:
-            return {s: [run_point(kernel, s, n, cfg) for n in sizes]
-                    for s in strategies}
+                     sizes=len(sizes), parallel=parallel):
+        use_parallel = parallel > 1
+        if use_parallel:
+            from repro.resilience import pool
+
+            if not pool.available():
+                log.warning("multiprocessing unavailable on this platform; "
+                            "running the sweep serially")
+                use_parallel = False
         journal: CheckpointJournal | None = None
         if checkpoint is not None:
             journal = (checkpoint if isinstance(checkpoint, CheckpointJournal)
-                       else open_journal(checkpoint, cfg))
+                       else open_journal(checkpoint, cfg, force=resume_force))
+        if use_parallel:
+            return _sweep_parallel(kernel, strategies, sizes, cfg,
+                                   journal=journal, budget=budget,
+                                   workers=parallel,
+                                   point_timeout=point_timeout)
+        if point_timeout is not None and budget is None:
+            # Serial degradation of --point-timeout: no supervisor to
+            # SIGKILL, so enforce it as an in-process wall budget.
+            budget = PointBudget(wall_seconds=point_timeout)
+        if journal is None and budget is None:
+            return {s: [run_point(kernel, s, n, cfg) for n in sizes]
+                    for s in strategies}
         return {s: [run_point_resilient(kernel, s, n, cfg,
                                         budget=budget, journal=journal)
                     for n in sizes]

@@ -69,12 +69,17 @@ def table3(kernels: tuple[str, ...] = ("JACOBI", "REDBLACK", "RESID"),
            strategies: tuple[str, ...] = PAPER_STRATEGIES,
            sizes: list[int] | None = None,
            cfg: ExperimentConfig | None = None,
-           checkpoint=None, budget=None) -> Table3Result:
+           checkpoint=None, budget=None,
+           parallel: int = 1, point_timeout: float | None = None,
+           resume_force: bool = False) -> Table3Result:
     """Table 3 sweep; ``checkpoint``/``budget`` enable resilient runs.
 
     All kernels share one checkpoint journal (points are keyed by
     kernel/strategy/size), so a resumed ``table3`` re-simulates only
-    what the previous run had not finished.
+    what the previous run had not finished. ``parallel``/
+    ``point_timeout`` fan points out to supervised worker processes
+    (see :func:`repro.experiments.runner.sweep`); ``resume_force``
+    adopts a journal whose fingerprint does not match ``cfg``.
     """
     cfg = cfg or ExperimentConfig()
     sizes = sizes or default_sizes()
@@ -83,14 +88,15 @@ def table3(kernels: tuple[str, ...] = ("JACOBI", "REDBLACK", "RESID"),
         from repro.resilience import CheckpointJournal
 
         if not isinstance(checkpoint, CheckpointJournal):
-            checkpoint = open_journal(checkpoint, cfg)
+            checkpoint = open_journal(checkpoint, cfg, force=resume_force)
     points: dict[str, dict[str, list[PointResult]]] = {}
     summaries = []
     for ki, kernel in enumerate(kernels, start=1):
         log.info("table3: sweeping %s (%d/%d), %d strategies x %d sizes",
                  kernel, ki, len(kernels), 1 + len(strategies), len(sizes))
         res = sweep(kernel, ["Orig", *strategies], sizes, cfg,
-                    checkpoint=checkpoint, budget=budget)
+                    checkpoint=checkpoint, budget=budget,
+                    parallel=parallel, point_timeout=point_timeout)
         points[kernel] = res
         summaries.append(summarize(kernel, res))
     return Table3Result(sizes=sizes, summaries=summaries, points=points)

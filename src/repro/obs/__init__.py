@@ -42,11 +42,25 @@ __all__ = [
     "MetricsRegistry",
     "Session",
     "session",
+    "reset_in_child",
     "setup_cli_logging",
     "verbosity_to_level",
     "events",
     "metrics",
 ]
+
+
+def reset_in_child() -> None:
+    """Disable observability inherited by a worker process.
+
+    A forked pool worker shares the parent's live event bus (and its
+    JSONL sink buffer) and metrics registry; if the child wrote through
+    them it would race the supervisor for the run's artifacts. The
+    supervisor is the single writer: workers call this first, then
+    report everything noteworthy over their result pipe instead.
+    """
+    events._BUS = EventBus()       # disabled: NullSink
+    metrics._REGISTRY = None
 
 log = logging.getLogger(__name__)
 

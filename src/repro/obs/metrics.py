@@ -33,7 +33,14 @@ name                                   type        labels
 ``repro.resilience.retries``           counter     —
 ``repro.resilience.degraded``          counter     —
 ``repro.resilience.checkpoint.*``      counter     resumed_points, records,
-                                                   recovered
+                                                   recovered,
+                                                   orphans_removed
+``repro.pool.workers``                 gauge       —
+``repro.pool.attempts``                counter     ``outcome`` in ok|crash|
+                                                   timeout|hang|corrupt|
+                                                   error
+``repro.pool.retries``                 counter     —
+``repro.pool.quarantined``             counter     —
 =====================================  ==========  =========================
 
 Per-level ``cold + conflict + capacity`` miss counts sum exactly to

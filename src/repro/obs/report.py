@@ -90,6 +90,10 @@ class RunSummary:
     retries: int = 0
     checkpoint_resumed: int = 0
     checkpoint_recovered: int = 0
+    #: supervised-pool lifecycle (parallel sweeps only).
+    worker_attempts: int = 0
+    pool_retries: int = 0
+    quarantined: int = 0
     #: (kernel, strategy, n, dur_s, refs) of the slowest simulations.
     slowest: list[tuple] = field(default_factory=list)
     #: span name -> peak tracemalloc KiB (only when profiled).
@@ -136,6 +140,14 @@ def summarize(events: list[dict], metrics: dict | None = None,
                                         float(peak))
         elif kind == "span_start" and ev.get("name") == "run":
             s.command = str(ev.get("command", s.command))
+        elif kind == "point":
+            # Parallel sweeps emit points as plain events (the worker's
+            # span lives in a child process and never reaches this bus).
+            s.points += 1
+            if ev.get("degraded"):
+                s.degraded += 1
+            if ev.get("source") == "journal":
+                s.journal_hits += 1
         elif kind == "retry":
             s.retries += 1
         elif kind == "degraded":
@@ -144,6 +156,12 @@ def summarize(events: list[dict], metrics: dict | None = None,
             s.checkpoint_resumed += int(ev.get("points", 0))
         elif kind == "checkpoint_recovered":
             s.checkpoint_recovered += 1
+        elif kind == "worker_exit":
+            s.worker_attempts += 1
+        elif kind == "point_retry":
+            s.pool_retries += 1
+        elif kind == "quarantine":
+            s.quarantined += 1
     s.slowest = sorted(sims, key=lambda t: -t[3])[:top]
 
     if metrics:
@@ -182,6 +200,11 @@ def format_report(s: RunSummary) -> str:
             f"resilience: {s.retries} retries, "
             f"{s.checkpoint_resumed} points resumed from checkpoint, "
             f"{s.checkpoint_recovered} journal recoveries")
+    if s.worker_attempts or s.pool_retries or s.quarantined:
+        parts.append(
+            f"pool: {s.worker_attempts} worker attempts, "
+            f"{s.pool_retries} point retries, "
+            f"{s.quarantined} quarantined to the analytic model")
 
     if s.slowest:
         rows = [[k, st, n, f"{dur:.3f}", refs]

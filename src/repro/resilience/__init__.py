@@ -10,27 +10,39 @@ layer that wires them up (:mod:`repro.experiments.runner`):
   of completed work units, written atomically, resumable after a crash;
 * :mod:`~repro.resilience.budget` — per-point wall-clock / trace-length
   budgets plus bounded retry with exponential backoff;
+* :mod:`~repro.resilience.pool` — a supervised process pool: each work
+  unit runs in its own child (crash/OOM/segfault isolation) under
+  heartbeat monitoring and a SIGKILL-enforced wall timeout, with retry
+  + backoff and quarantine-to-fallback when attempts are exhausted; the
+  supervisor is the single journal writer;
 * :mod:`~repro.resilience.faults` — deterministic fault injection
   (crash on the k-th simulation, stall past a deadline, corrupt a
-  journal) so the recovery paths are *proven* by tests, not assumed;
+  journal, kill/hang/corrupt the n-th worker) so the recovery paths
+  are *proven* by tests, not assumed;
 * :mod:`~repro.resilience.atomic` — temp-file + ``os.replace`` writes
-  shared by every durable artifact the harness produces.
+  (directory-fsync'd, orphan-swept) shared by every durable artifact
+  the harness produces.
 """
 
-from repro.resilience.atomic import atomic_write_text
+from repro.resilience.atomic import atomic_write_text, cleanup_orphan_tmp
 from repro.resilience.budget import Deadline, PointBudget, run_with_retries
 from repro.resilience.checkpoint import (
     CheckpointJournal,
     CheckpointWarning,
     fingerprint,
 )
+from repro.resilience.pool import PoolPolicy, TaskOutcome, run_supervised
 
 __all__ = [
     "atomic_write_text",
+    "cleanup_orphan_tmp",
     "CheckpointJournal",
     "CheckpointWarning",
     "Deadline",
     "PointBudget",
+    "PoolPolicy",
+    "TaskOutcome",
     "fingerprint",
+    "run_supervised",
     "run_with_retries",
 ]

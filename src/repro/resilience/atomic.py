@@ -5,6 +5,17 @@ process killed mid-write) observe either the old content or the new —
 never a half-written artifact. Every durable artifact this package
 produces (checkpoint journals, CSV exports, benchmark tables) funnels
 through here.
+
+Durability is two-level: the temp file is fsync'd before the swap (the
+*bytes* survive power loss) and the containing directory is fsync'd
+after it (the *name* survives power loss — without the directory sync a
+crash can leave the rename itself unjournaled and the file reverts to
+its old content on some filesystems).
+
+A writer killed between ``mkstemp`` and ``os.replace`` leaves its temp
+file behind; :func:`cleanup_orphan_tmp` sweeps those on the next open
+of the artifact (single-writer contract — the caller must own the
+target path).
 """
 
 from __future__ import annotations
@@ -13,7 +24,27 @@ import os
 import pathlib
 import tempfile
 
-__all__ = ["atomic_write_text"]
+__all__ = ["atomic_write_text", "cleanup_orphan_tmp"]
+
+
+def _fsync_dir(dirpath: pathlib.Path) -> None:
+    """Best-effort fsync of a directory, making a rename durable.
+
+    Platforms without ``O_DIRECTORY`` (or filesystems that refuse to
+    fsync directories) degrade silently — the rename is still atomic,
+    just not guaranteed to survive power loss.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(dirpath, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
@@ -21,8 +52,9 @@ def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
 
     Parent directories are created as needed. The temporary file lives
     next to the target (same filesystem, so the final ``os.replace`` is
-    a true atomic rename) and is fsync'd before the swap; on any
-    failure it is removed and the original file is left untouched.
+    a true atomic rename) and is fsync'd before the swap, as is the
+    containing directory after it; on any failure the temp file is
+    removed and the original file is left untouched.
     """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -34,6 +66,7 @@ def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        _fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp)
@@ -41,3 +74,25 @@ def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
             pass
         raise
     return path
+
+
+def cleanup_orphan_tmp(path: str | pathlib.Path) -> list[pathlib.Path]:
+    """Remove orphaned ``<name>.*.tmp`` siblings of ``path``.
+
+    These are the droppings of writers killed between ``mkstemp`` and
+    ``os.replace``. Only call for an artifact the caller exclusively
+    owns (e.g. a checkpoint journal on open): a *live* concurrent
+    writer's temp file is indistinguishable from an orphan. Returns the
+    paths removed.
+    """
+    path = pathlib.Path(path)
+    removed: list[pathlib.Path] = []
+    if not path.parent.is_dir():
+        return removed
+    for tmp in path.parent.glob(path.name + ".*.tmp"):
+        try:
+            tmp.unlink()
+        except OSError:
+            continue
+        removed.append(tmp)
+    return removed

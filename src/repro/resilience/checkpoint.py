@@ -1,18 +1,21 @@
 """Checkpoint journal: restartable progress for long experiment sweeps.
 
-A journal is a JSONL file. The first line is a header carrying a
-*configuration fingerprint* (a stable hash of everything that affects
-the numbers — cache geometry, machine model, K extent, package
-version); every following line records one completed unit of work as a
-``(key, payload)`` pair. A resuming run re-opens the journal, verifies
-the fingerprint, and skips keys that are already recorded — so a crash,
-OOM kill, or Ctrl-C mid-sweep loses at most the point in flight.
+A journal is a JSONL file. The first line is a header carrying the
+journal format version and a *configuration fingerprint* (a stable hash
+of everything that affects the numbers — cache geometry, machine model,
+K extent, package version); every following line records one completed
+unit of work as a versioned ``(key, payload)`` pair. A resuming run
+re-opens the journal, verifies the fingerprint, and skips keys that are
+already recorded — so a crash, OOM kill, or Ctrl-C mid-sweep loses at
+most the point in flight.
 
 Durability contract:
 
 * every mutation rewrites the whole journal to a temp file and
-  ``os.replace``s it into place (:mod:`repro.resilience.atomic`), so
-  the file on disk is always a valid prefix of the run;
+  ``os.replace``s it into place (:mod:`repro.resilience.atomic`, which
+  also fsyncs the directory), so the file on disk is always a valid
+  prefix of the run; orphaned ``*.tmp`` files left by killed writers
+  are swept on open;
 * a *trailing* malformed line (the classic kill-during-write artifact
   on filesystems without atomic rename, or a truncated copy) is
   recoverable: it is dropped with a :class:`CheckpointWarning` and the
@@ -20,7 +23,21 @@ Durability contract:
 * a malformed line in the *middle*, a missing/invalid header, or a
   fingerprint mismatch raise :class:`repro.errors.CheckpointError` —
   silently mixing results from different configurations would corrupt
-  the science.
+  the science. ``force=True`` (the CLI's ``--resume-force``) overrides
+  a fingerprint mismatch only, adopting the recorded points under the
+  new fingerprint with a :class:`CheckpointWarning`.
+
+Schema versioning: the header carries ``version`` and every point
+record a ``v`` field (both currently 2). Records without ``v`` — the
+PR 1 on-disk format — are read as version 1 and the journal is
+rewritten at the current version on open (migration is lossless);
+journals or records from a *newer* format are refused rather than
+guessed at.
+
+Concurrency: a journal has exactly **one writer**. The parallel sweep
+executor (:mod:`repro.resilience.pool`) honours this by funnelling all
+worker results through the supervisor process, which owns the journal;
+workers never touch the file.
 
 The journal is payload-agnostic (keys are tuples of JSON scalars,
 payloads JSON-serializable dicts); the experiment runner layers
@@ -37,17 +54,20 @@ import warnings
 from typing import Any, Iterable, Mapping
 
 from repro.errors import CheckpointError
-from repro.resilience.atomic import atomic_write_text
+from repro.resilience.atomic import atomic_write_text, cleanup_orphan_tmp
 
 __all__ = ["CheckpointJournal", "CheckpointWarning", "fingerprint"]
 
-_FORMAT_VERSION = 1
+#: Journal format: header ``version`` and per-record ``v``. Version 1
+#: (PR 1) lacked the per-record ``v`` field; it is read and migrated.
+_FORMAT_VERSION = 2
 
 log = logging.getLogger(__name__)
 
 
 class CheckpointWarning(UserWarning):
-    """A journal needed (successful) recovery — e.g. a truncated tail."""
+    """A journal needed (successful) recovery — e.g. a truncated tail —
+    or a fingerprint mismatch was explicitly overridden."""
 
 
 def fingerprint(payload: Mapping[str, Any]) -> str:
@@ -107,15 +127,27 @@ class CheckpointJournal:
 
     # ------------------------------------------------------------------
     @classmethod
-    def open(cls, path: str | pathlib.Path,
-             fp: str) -> "CheckpointJournal":
+    def open(cls, path: str | pathlib.Path, fp: str, *,
+             force: bool = False) -> "CheckpointJournal":
         """Open (resuming) or create a journal bound to fingerprint ``fp``.
 
         Raises :class:`CheckpointError` if an existing journal was
-        written under a different fingerprint or is unrecoverably
-        corrupt.
+        written under a different fingerprint (unless ``force`` adopts
+        it), comes from a newer format version, or is unrecoverably
+        corrupt. Orphaned temp files from killed writers are removed.
         """
         path = pathlib.Path(path)
+        orphans = cleanup_orphan_tmp(path)
+        if orphans:
+            # Lazy import: obs depends on resilience.atomic (see above).
+            from repro.obs import events, metrics
+
+            log.info("checkpoint %s: removed %d orphaned temp file(s) "
+                     "left by a killed writer", path, len(orphans))
+            events.emit("checkpoint_orphans_removed", path=str(path),
+                        count=len(orphans))
+            metrics.inc("repro.resilience.checkpoint.orphans_removed",
+                        len(orphans))
         if not path.exists():
             journal = cls(path, fp, {})
             journal._flush()
@@ -132,19 +164,59 @@ class CheckpointJournal:
             raise CheckpointError(
                 f"checkpoint {path} has no header line; not a journal "
                 f"(or written by an incompatible version)")
-        if header.get("fingerprint") != fp:
+        version = header.get("version")
+        if not isinstance(version, int) or version < 1:
             raise CheckpointError(
-                f"checkpoint {path} was written under a different "
-                f"configuration (fingerprint {header.get('fingerprint')!r}, "
-                f"this run is {fp!r}); refusing to mix results — "
-                f"delete the file or match the original configuration")
+                f"checkpoint {path} has an invalid format version "
+                f"{version!r}")
+        if version > _FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} was written by a newer repro "
+                f"(journal format v{version}; this build reads up to "
+                f"v{_FORMAT_VERSION}) — upgrade to resume it")
+        migrate = version < _FORMAT_VERSION
         records: dict[tuple, dict] = {}
         for rec in lines[1:]:
             if rec.get("kind") != "point" or "key" not in rec:
                 raise CheckpointError(
                     f"checkpoint {path}: unexpected record kind "
                     f"{rec.get('kind')!r}")
+            rv = rec.get("v", 1)  # v-less records are the PR 1 format
+            if not isinstance(rv, int) or rv < 1:
+                raise CheckpointError(
+                    f"checkpoint {path}: invalid record version {rv!r}")
+            if rv > _FORMAT_VERSION:
+                raise CheckpointError(
+                    f"checkpoint {path}: record version v{rv} is newer "
+                    f"than this build reads (v{_FORMAT_VERSION})")
+            if rv < _FORMAT_VERSION:
+                migrate = True
             records[tuple(rec["key"])] = rec.get("payload", {})
+        theirs = header.get("fingerprint")
+        if theirs != fp:
+            if not force:
+                raise CheckpointError(
+                    f"checkpoint {path} was written under a different "
+                    f"configuration: journal fingerprint {theirs!r} vs "
+                    f"this run's {fp!r}; refusing to mix results — "
+                    f"delete the file, match the original configuration, "
+                    f"or pass --resume-force to adopt the journal anyway")
+            from repro.obs import events
+
+            warnings.warn(
+                f"checkpoint {path}: fingerprint mismatch overridden "
+                f"(journal {theirs!r}, this run {fp!r}); adopting "
+                f"{len(records)} recorded point(s) under the new "
+                f"fingerprint", CheckpointWarning, stacklevel=2)
+            events.emit("checkpoint_forced", path=str(path),
+                        journal_fingerprint=theirs, run_fingerprint=fp,
+                        points=len(records))
+            migrate = True
+        journal = cls(path, fp, records)
+        if migrate:
+            log.info("checkpoint %s: rewriting at journal format v%d",
+                     path, _FORMAT_VERSION)
+            journal._flush()
         if records:
             from repro.obs import events, metrics
 
@@ -154,7 +226,7 @@ class CheckpointJournal:
                         points=len(records))
             metrics.inc("repro.resilience.checkpoint.resumed_points",
                         len(records))
-        return cls(path, fp, records)
+        return journal
 
     # ------------------------------------------------------------------
     @property
@@ -192,6 +264,6 @@ class CheckpointJournal:
                              "version": _FORMAT_VERSION,
                              "fingerprint": self._fingerprint})]
         for key, payload in self._records.items():
-            lines.append(json.dumps({"kind": "point", "key": list(key),
-                                     "payload": payload}))
+            lines.append(json.dumps({"kind": "point", "v": _FORMAT_VERSION,
+                                     "key": list(key), "payload": payload}))
         atomic_write_text(self._path, "\n".join(lines) + "\n")

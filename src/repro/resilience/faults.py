@@ -22,19 +22,41 @@ actions scheduled for that call index: raise an exception (a crash or a
 :func:`corrupt_journal` mangles checkpoint files the way real crashes
 do (truncated trailing line, appended garbage, clobbered header) for
 the recovery tests.
+
+**Process-level faults** target the supervised worker pool
+(:mod:`repro.resilience.pool`), whose failure modes — a SIGKILL'd
+worker, a hung worker, a worker returning garbage — cannot be expressed
+as in-process exceptions. They are scripted through the
+``REPRO_FAULT_WORKER`` environment variable (or an explicit plan passed
+to ``run_supervised``): a comma/semicolon-separated list of
+``action:index[:all]`` entries, where ``action`` is ``kill`` (worker
+SIGKILLs itself), ``hang`` (worker stops heartbeating and sleeps
+forever — the supervisor's timeout must reap it), or ``corrupt``
+(worker returns a truncated, type-mangled payload), and ``index`` is
+the 1-based task submission index. By default a fault fires only on the
+task's *first* attempt (so retries succeed — proving the retry path);
+``:all`` makes it fire on every attempt (forcing quarantine). The
+supervisor parses the plan and ships each attempt's directive to its
+worker, so firing is deterministic regardless of scheduling.
 """
 
 from __future__ import annotations
 
 import contextlib
+import os
 import pathlib
+import re
+import signal
 import time
+from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.errors import ConfigurationError
 
 __all__ = ["FakeClock", "FaultInjector", "inject", "tick",
-           "active_clock", "active_sleep", "corrupt_journal"]
+           "active_clock", "active_sleep", "corrupt_journal",
+           "WorkerFault", "WORKER_FAULT_ENV", "worker_fault_plan",
+           "apply_worker_fault", "corrupt_payload", "reset_in_child"]
 
 
 class FakeClock:
@@ -135,6 +157,114 @@ def active_sleep(default: Callable[[float], None] = time.sleep
     if _ACTIVE is not None and _ACTIVE.clock is not None:
         return _ACTIVE.clock.sleep
     return default
+
+
+# ----------------------------------------------------------------------
+# process-level faults (worker pool)
+# ----------------------------------------------------------------------
+
+#: Environment variable holding the default worker fault plan.
+WORKER_FAULT_ENV = "REPRO_FAULT_WORKER"
+
+_WORKER_ACTIONS = ("kill", "hang", "corrupt")
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scripted worker failure: ``action`` at task ``index``."""
+
+    action: str          # kill | hang | corrupt
+    index: int           # 1-based task submission index
+    every_attempt: bool = False  # fire on retries too (forces quarantine)
+
+
+def worker_fault_plan(spec: str | None = None) -> dict[int, "WorkerFault"]:
+    """Parse a worker fault plan (``REPRO_FAULT_WORKER`` by default).
+
+    ``spec`` is a comma/semicolon-separated list of
+    ``action:index[:all]`` entries — see the module docstring. Returns
+    a mapping of task index to fault; empty when no plan is set.
+    """
+    if spec is None:
+        spec = os.environ.get(WORKER_FAULT_ENV, "")
+    plan: dict[int, WorkerFault] = {}
+    for entry in re.split(r"[,;]", spec):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        if len(parts) not in (2, 3) or parts[0] not in _WORKER_ACTIONS:
+            raise ConfigurationError(
+                f"bad worker fault entry {entry!r}; expected "
+                f"action:index[:all] with action in "
+                f"{'|'.join(_WORKER_ACTIONS)}")
+        try:
+            index = int(parts[1])
+        except ValueError:
+            raise ConfigurationError(
+                f"bad worker fault index in {entry!r}") from None
+        if index < 1:
+            raise ConfigurationError(
+                f"worker fault index must be >= 1, got {index}")
+        every = False
+        if len(parts) == 3:
+            if parts[2] != "all":
+                raise ConfigurationError(
+                    f"bad worker fault modifier {parts[2]!r} in {entry!r}; "
+                    f"only 'all' is valid")
+            every = True
+        plan[index] = WorkerFault(parts[0], index, every)
+    return plan
+
+
+def apply_worker_fault(fault: WorkerFault,
+                       stop_heartbeat: Callable[[], None] | None = None
+                       ) -> None:
+    """Execute a ``kill``/``hang`` fault inside the worker process.
+
+    ``corrupt`` is not handled here — the worker computes its result
+    first and the caller mangles it with :func:`corrupt_payload`. Both
+    kill and hang stop the heartbeat thread first, mirroring a process
+    that goes dark before it dies (or never dies).
+    """
+    if fault.action == "kill":
+        if stop_heartbeat is not None:
+            stop_heartbeat()
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif fault.action == "hang":
+        if stop_heartbeat is not None:
+            stop_heartbeat()
+        while True:  # pragma: no cover - reaped by the supervisor's SIGKILL
+            time.sleep(3600)
+
+
+def corrupt_payload(payload: dict) -> dict:
+    """Deterministically mangle a result payload.
+
+    Drops one key (truncation) and type-mangles another (a float that
+    became a string), plus a marker key no schema expects — the three
+    ways a half-written or version-skewed payload actually breaks
+    round-tripping.
+    """
+    bad = dict(payload)
+    if bad:
+        bad.pop(sorted(bad)[0])
+    if bad:
+        key = sorted(bad)[-1]
+        bad[key] = f"<corrupt:{bad[key]!r}>"
+    bad["__corrupt__"] = True
+    return bad
+
+
+def reset_in_child() -> None:
+    """Uninstall any inherited in-process injector (forked workers).
+
+    Worker faults are scripted by the supervisor per attempt; a fork
+    must not also inherit the parent's in-process injector, whose call
+    counts would fire at meaningless indices.
+    """
+    global _ACTIVE
+    _ACTIVE = None
 
 
 def corrupt_journal(path: str | pathlib.Path,

@@ -40,6 +40,17 @@ class TestParser:
             ["figures", "--kernel", "RESID", "--checkpoint", "f.jsonl"])
         assert a.checkpoint == "f.jsonl" and not a.resume
 
+    def test_parallel_flags(self):
+        a = build_parser().parse_args(
+            ["table3", "--parallel", "4", "--point-timeout", "30"])
+        assert a.parallel == 4 and a.point_timeout == 30.0
+        a = build_parser().parse_args(["figures"])
+        assert a.parallel == 1 and a.point_timeout is None
+        assert not a.resume_force
+        a = build_parser().parse_args(
+            ["table3", "--checkpoint", "t.jsonl", "--resume-force"])
+        assert a.resume_force
+
 
 class TestValidation:
     """Usage errors exit 2 with a one-line stderr message, no traceback."""
@@ -81,6 +92,18 @@ class TestValidation:
         self.check(capsys, ["table3", "--budget", "0"],
                    "--budget must be positive")
 
+    def test_nonpositive_parallel(self, capsys):
+        self.check(capsys, ["table3", "--parallel", "0"],
+                   "--parallel must be >= 1")
+
+    def test_nonpositive_point_timeout(self, capsys):
+        self.check(capsys, ["table3", "--point-timeout", "0"],
+                   "--point-timeout must be positive")
+
+    def test_resume_force_without_checkpoint(self, capsys):
+        self.check(capsys, ["table3", "--resume-force"],
+                   "--resume-force requires --checkpoint")
+
 
 class TestCommands:
     def test_select(self, capsys):
@@ -120,3 +143,15 @@ class TestCommands:
     def test_mgrid(self, capsys):
         assert main(["mgrid", "--level", "5"]) == 0
         assert "improvement" in capsys.readouterr().out
+
+    def test_table3_parallel_with_injected_kill(self, capsys, tmp_path,
+                                                monkeypatch):
+        # End-to-end: a parallel sweep whose second worker is SIGKILLed
+        # still exits 0, prints the table, and journals every point.
+        monkeypatch.setenv("REPRO_FAULT_WORKER", "kill:2")
+        ckpt = tmp_path / "t3.jsonl"
+        assert main(["table3", "--n", "40", "--parallel", "2",
+                     "--checkpoint", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert ckpt.exists()

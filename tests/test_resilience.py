@@ -80,7 +80,7 @@ class TestJournal:
         lines = [json.loads(line) for line in path.read_text().splitlines()]
         assert lines[0]["kind"] == "header"
         assert lines[0]["fingerprint"] == self.FP
-        assert lines[1] == {"kind": "point", "key": ["K", 1],
+        assert lines[1] == {"kind": "point", "v": 2, "key": ["K", 1],
                             "payload": {"v": 1}}
 
     def test_corrupt_trailing_line_recovered(self, tmp_path):
@@ -127,6 +127,143 @@ class TestJournal:
                         + json.dumps({"kind": "point", "key": [1]}) + "\n")
         with pytest.raises(CheckpointError, match="no header"):
             CheckpointJournal.open(path, self.FP)
+
+
+class TestJournalVersioning:
+    FP = "cafe" * 16
+
+    def _write_v1(self, path):
+        """A journal exactly as PR 1 wrote it: no per-record ``v``."""
+        path.write_text(
+            json.dumps({"kind": "header", "version": 1,
+                        "fingerprint": self.FP}) + "\n"
+            + json.dumps({"kind": "point", "key": ["K", 1],
+                          "payload": {"x": 1}}) + "\n")
+
+    def test_v1_journal_migrates_on_open(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write_v1(path)
+        j = CheckpointJournal.open(path, self.FP)
+        assert j.get(("K", 1)) == {"x": 1}
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["version"] == 2
+        assert all(rec["v"] == 2 for rec in lines[1:])
+
+    def test_vless_record_under_v2_header_migrates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "version": 2,
+                        "fingerprint": self.FP}) + "\n"
+            + json.dumps({"kind": "point", "key": ["K", 1],
+                          "payload": {"x": 1}}) + "\n")
+        j = CheckpointJournal.open(path, self.FP)
+        assert j.get(("K", 1)) == {"x": 1}
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[1]["v"] == 2
+
+    def test_newer_header_version_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps({"kind": "header", "version": 99,
+                                    "fingerprint": self.FP}) + "\n")
+        with pytest.raises(CheckpointError, match="newer repro"):
+            CheckpointJournal.open(path, self.FP)
+
+    def test_newer_record_version_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "version": 2,
+                        "fingerprint": self.FP}) + "\n"
+            + json.dumps({"kind": "point", "v": 99, "key": ["K", 1],
+                          "payload": {}}) + "\n")
+        with pytest.raises(CheckpointError, match="newer"):
+            CheckpointJournal.open(path, self.FP)
+
+    def test_invalid_header_version_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps({"kind": "header", "version": "two",
+                                    "fingerprint": self.FP}) + "\n")
+        with pytest.raises(CheckpointError, match="invalid format version"):
+            CheckpointJournal.open(path, self.FP)
+
+    def test_mismatch_error_names_both_fingerprints(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CheckpointJournal.open(path, self.FP).record(("K",), {})
+        other = "beef" * 16
+        with pytest.raises(CheckpointError) as ei:
+            CheckpointJournal.open(path, other)
+        msg = str(ei.value)
+        assert self.FP in msg and other in msg
+        assert "--resume-force" in msg
+
+    def test_force_adopts_mismatched_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CheckpointJournal.open(path, self.FP).record(("K", 1), {"x": 1})
+        other = "beef" * 16
+        with pytest.warns(CheckpointWarning, match="overridden"):
+            j = CheckpointJournal.open(path, other, force=True)
+        assert j.get(("K", 1)) == {"x": 1}
+        assert j.fingerprint == other
+        # The rewrite rebinds the file, so a plain reopen now works.
+        j2 = CheckpointJournal.open(path, other)
+        assert j2.get(("K", 1)) == {"x": 1}
+
+    def test_force_is_noop_when_fingerprints_match(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CheckpointJournal.open(path, self.FP).record(("K", 1), {"x": 1})
+        j = CheckpointJournal.open(path, self.FP, force=True)  # no warning
+        assert len(j) == 1
+
+    def test_orphan_tmp_swept_on_open(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CheckpointJournal.open(path, self.FP).record(("K", 1), {"x": 1})
+        orphan = tmp_path / "j.jsonl.12345.tmp"
+        orphan.write_text("half-written garbage")
+        j = CheckpointJournal.open(path, self.FP)
+        assert not orphan.exists()
+        assert j.get(("K", 1)) == {"x": 1}
+
+    def test_orphan_sweep_ignores_other_files(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        bystander = tmp_path / "other.jsonl.1.tmp"
+        bystander.write_text("not ours")
+        CheckpointJournal.open(path, self.FP)
+        assert bystander.exists()
+
+
+class TestWorkerFaultPlan:
+    def test_empty_when_unset(self, monkeypatch):
+        monkeypatch.delenv(faults.WORKER_FAULT_ENV, raising=False)
+        assert faults.worker_fault_plan() == {}
+
+    def test_parses_entries_and_modifier(self):
+        plan = faults.worker_fault_plan("kill:1, hang:3:all; corrupt:7")
+        assert plan[1] == faults.WorkerFault("kill", 1, False)
+        assert plan[3] == faults.WorkerFault("hang", 3, True)
+        assert plan[7] == faults.WorkerFault("corrupt", 7, False)
+
+    def test_reads_environment(self, monkeypatch):
+        monkeypatch.setenv(faults.WORKER_FAULT_ENV, "kill:2")
+        assert faults.worker_fault_plan() == {
+            2: faults.WorkerFault("kill", 2, False)}
+
+    @pytest.mark.parametrize("spec", [
+        "explode:1", "kill", "kill:zero", "kill:0", "kill:1:always"])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            faults.worker_fault_plan(spec)
+
+    def test_corrupt_payload_truncates_and_mangles(self):
+        bad = faults.corrupt_payload({"a": 1, "b": 2.5, "c": 3})
+        assert "a" not in bad               # truncated
+        assert isinstance(bad["c"], str)    # type-mangled
+        assert bad["__corrupt__"] is True
+
+    def test_reset_in_child_uninstalls_injector(self):
+        inj = faults.FaultInjector()
+        with faults.inject(inj):
+            faults.reset_in_child()
+            faults.tick("site")
+        assert inj.calls("site") == 0
 
 
 class TestBudget:

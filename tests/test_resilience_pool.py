@@ -1,0 +1,208 @@
+"""Unit tests for the supervised process pool (repro.resilience.pool).
+
+Worker failures are scripted through the deterministic fault plan of
+:mod:`repro.resilience.faults` — SIGKILL, hang, and corrupt-payload are
+real process-level events here, not mocks.
+"""
+
+import pytest
+
+from repro.errors import CheckpointError, ConfigurationError, PoolError
+from repro.resilience import PoolPolicy, TaskOutcome, run_supervised
+from repro.resilience import faults
+from repro.resilience.pool import available
+
+pytestmark = pytest.mark.skipif(
+    not available(), reason="multiprocessing unavailable")
+
+#: Fast supervision for tests: tight heartbeats, near-zero backoff.
+FAST = dict(heartbeat_seconds=0.1, backoff_seconds=0.01)
+
+
+def _double(args):
+    """Module-level so spawn-only platforms can pickle it."""
+    return {"key": list(args[0]), "value": args[1] * 2}
+
+
+def _boom(args):
+    raise ValueError(f"cannot process {args!r}")
+
+
+def _tasks(n):
+    return [((str(i),), ((str(i),), i)) for i in range(n)]
+
+
+def _validate(key, payload):
+    if payload.get("key") != list(key):
+        raise CheckpointError(f"payload {payload!r} does not match {key!r}")
+
+
+def _fallback(key, args):
+    return {"key": list(key), "value": -1, "fallback": True}
+
+
+class TestSuccess:
+    def test_results_in_submission_order(self):
+        out = run_supervised(_double, _tasks(5),
+                             PoolPolicy(workers=3, **FAST))
+        assert [o.key for o in out] == [(str(i),) for i in range(5)]
+        assert [o.payload["value"] for o in out] == [0, 2, 4, 6, 8]
+        assert all(o.ok and o.attempts == 1 and not o.quarantined
+                   for o in out)
+
+    def test_on_result_sees_every_payload(self):
+        seen = []
+        run_supervised(_double, _tasks(4), PoolPolicy(workers=2, **FAST),
+                       on_result=lambda k, p, q: seen.append((k, q)))
+        assert sorted(k for k, _ in seen) == [(str(i),) for i in range(4)]
+        assert all(not q for _, q in seen)
+
+    def test_single_worker(self):
+        out = run_supervised(_double, _tasks(3),
+                             PoolPolicy(workers=1, **FAST))
+        assert all(o.ok for o in out)
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_retried(self):
+        plan = {2: faults.WorkerFault("kill", 2)}
+        out = run_supervised(_double, _tasks(3),
+                             PoolPolicy(workers=2, max_retries=2, **FAST),
+                             fault_plan=plan)
+        victim = out[1]
+        assert victim.ok and victim.attempts == 2
+        assert len(victim.failures) == 1
+        assert "died without a result" in victim.failures[0]
+        assert victim.payload["value"] == 2
+
+    def test_persistent_kill_quarantines_with_fallback(self):
+        plan = {1: faults.WorkerFault("kill", 1, every_attempt=True)}
+        out = run_supervised(_double, _tasks(2),
+                             PoolPolicy(workers=2, max_retries=1, **FAST),
+                             fallback=_fallback, fault_plan=plan)
+        q = out[0]
+        assert q.quarantined and not q.ok
+        assert q.attempts == 2  # initial + 1 retry
+        assert q.payload == {"key": ["0"], "value": -1, "fallback": True}
+        assert out[1].ok  # the healthy task is unaffected
+
+    def test_quarantine_without_fallback_leaves_no_payload(self):
+        plan = {1: faults.WorkerFault("kill", 1, every_attempt=True)}
+        out = run_supervised(_double, _tasks(1),
+                             PoolPolicy(workers=1, max_retries=0, **FAST),
+                             fault_plan=plan)
+        assert out[0].quarantined and out[0].payload is None
+
+    def test_on_result_flags_quarantined(self):
+        plan = {1: faults.WorkerFault("kill", 1, every_attempt=True)}
+        seen = []
+        run_supervised(_double, _tasks(2),
+                       PoolPolicy(workers=2, max_retries=0, **FAST),
+                       fallback=_fallback,
+                       on_result=lambda k, p, q: seen.append((k, q)),
+                       fault_plan=plan)
+        assert dict(seen) == {("0",): True, ("1",): False}
+
+
+class TestHangsAndTimeouts:
+    def test_hung_worker_reaped_by_wall_timeout(self):
+        plan = {1: faults.WorkerFault("hang", 1)}
+        out = run_supervised(_double, _tasks(1),
+                             PoolPolicy(workers=1, max_retries=1,
+                                        point_timeout=0.5, **FAST),
+                             fault_plan=plan)
+        assert out[0].ok and out[0].attempts == 2
+        assert "wall timeout" in out[0].failures[0]
+
+    def test_hung_worker_reaped_by_heartbeat_grace(self):
+        # The hang fault stops the heartbeat thread, so grace detection
+        # fires well before the (generous) wall timeout.
+        plan = {1: faults.WorkerFault("hang", 1)}
+        out = run_supervised(_double, _tasks(1),
+                             PoolPolicy(workers=1, max_retries=1,
+                                        point_timeout=30.0,
+                                        heartbeat_seconds=0.05,
+                                        heartbeat_grace=0.3,
+                                        backoff_seconds=0.01),
+                             fault_plan=plan)
+        assert out[0].ok and out[0].attempts == 2
+        assert "no heartbeat" in out[0].failures[0]
+
+
+class TestCorruptPayloads:
+    def test_corrupt_payload_is_retried(self):
+        plan = {1: faults.WorkerFault("corrupt", 1)}
+        out = run_supervised(_double, _tasks(1),
+                             PoolPolicy(workers=1, max_retries=1, **FAST),
+                             validate=_validate, fault_plan=plan)
+        assert out[0].ok and out[0].attempts == 2
+        assert "corrupt payload" in out[0].failures[0]
+
+    def test_persistent_corruption_quarantines(self):
+        plan = {1: faults.WorkerFault("corrupt", 1, every_attempt=True)}
+        delivered = []
+        out = run_supervised(_double, _tasks(1),
+                             PoolPolicy(workers=1, max_retries=1, **FAST),
+                             validate=_validate, fallback=_fallback,
+                             on_result=lambda k, p, q:
+                                 delivered.append((p, q)),
+                             fault_plan=plan)
+        assert out[0].quarantined
+        # Only the fallback payload is ever delivered — a payload that
+        # fails validation must never reach the journal hook.
+        assert delivered == [({"key": ["0"], "value": -1,
+                               "fallback": True}, True)]
+
+    def test_without_validator_corrupt_payload_passes_through(self):
+        plan = {1: faults.WorkerFault("corrupt", 1)}
+        out = run_supervised(_double, _tasks(1),
+                             PoolPolicy(workers=1, **FAST),
+                             fault_plan=plan)
+        assert out[0].ok and out[0].payload.get("__corrupt__") is True
+
+
+class TestWorkerExceptions:
+    def test_exception_is_a_failed_attempt(self):
+        out = run_supervised(_boom, _tasks(1),
+                             PoolPolicy(workers=1, max_retries=1, **FAST),
+                             fallback=_fallback)
+        assert out[0].quarantined and out[0].attempts == 2
+        assert all("worker raised ValueError" in f for f in out[0].failures)
+
+
+class TestMisuse:
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(PoolError, match="duplicate task key"):
+            run_supervised(_double, [(("a",), 1), (("a",), 2)],
+                           PoolPolicy(workers=1, **FAST))
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(workers=0),
+        dict(point_timeout=0),
+        dict(point_timeout=-1),
+        dict(heartbeat_seconds=0),
+        dict(heartbeat_grace=0),
+        dict(max_retries=-1),
+        dict(backoff_seconds=-0.1),
+    ])
+    def test_policy_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PoolPolicy(**kwargs)
+
+    def test_empty_task_list(self):
+        assert run_supervised(_double, [], PoolPolicy(workers=1)) == []
+
+
+class TestEnvironmentPlan:
+    def test_env_var_drives_faults(self, monkeypatch):
+        monkeypatch.setenv(faults.WORKER_FAULT_ENV, "kill:1")
+        out = run_supervised(_double, _tasks(2),
+                             PoolPolicy(workers=2, max_retries=1, **FAST))
+        assert out[0].ok and out[0].attempts == 2
+        assert out[1].ok and out[1].attempts == 1
+
+    def test_outcome_dataclass_ok_semantics(self):
+        assert not TaskOutcome(key=("x",)).ok
+        assert TaskOutcome(key=("x",), payload={"a": 1}).ok
+        assert not TaskOutcome(key=("x",), payload={"a": 1},
+                               quarantined=True).ok
