@@ -23,18 +23,18 @@ from __future__ import annotations
 
 import os
 import sys
-import time
 
 from repro.obs import events, metrics
+from repro.perf.timing import Stopwatch, best_of
 
 
 def micro() -> float:
     n = 200_000
-    t0 = time.perf_counter()
-    for _ in range(n):
-        events.emit("never", x=1)
-        metrics.inc("repro.never")
-    per_call = (time.perf_counter() - t0) / (2 * n)
+    with Stopwatch() as sw:
+        for _ in range(n):
+            events.emit("never", x=1)
+            metrics.inc("repro.never")
+    per_call = sw.seconds / (2 * n)
     print(f"micro: disabled hook cost {per_call * 1e9:.0f} ns/call")
     assert per_call < 10e-6, f"disabled hook too slow: {per_call * 1e6:.1f} us"
     return per_call
@@ -47,14 +47,12 @@ def macro() -> None:
     budget = float(os.environ.get("OVERHEAD_BUDGET_SECONDS", "60"))
     cfg = ExperimentConfig()
 
-    def one_run() -> float:
+    def one_run() -> None:
         clear_cache()
-        t0 = time.perf_counter()
         run_point("JACOBI", "GcdPad", 64, cfg)
-        return time.perf_counter() - t0
 
     one_run()  # warm imports and lru caches off the clock
-    instrumented_off = min(one_run() for _ in range(3))
+    instrumented_off = best_of(one_run, 3)
     print(f"macro: instrumented-off exact point took "
           f"{instrumented_off:.2f}s (budget {budget:.0f}s)")
     assert instrumented_off < budget, (

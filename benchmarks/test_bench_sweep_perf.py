@@ -1,0 +1,80 @@
+"""Perf-smoke tests for the sweep benchmark harness.
+
+Run by the CI perf-smoke job (not part of the tier-1 suite)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_sweep_perf.py -q
+
+These are sanity gates, not regression thresholds: timings on shared CI
+runners are too noisy to assert against absolute numbers, so the
+timings are archived (``BENCH_sweep.json``) and the assertions here
+check structure, positivity, and — the one thing that must never
+regress — that the chunk-streamed fast path stays bit-for-bit equal to
+the monolithic simulation with the cache disabled.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache.params import CacheParams
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.options import PointPolicy
+from repro.experiments.runner import run_point
+from repro.perf.bench import bench_point, bench_sweep, write_bench
+from repro.perfmodel.machine import ULTRASPARC2_360
+
+_STAGES = ("trace_seconds", "l1_seconds", "l2_seconds",
+           "end_to_end_seconds")
+
+
+@pytest.fixture
+def tiny_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        l1=CacheParams(size_bytes=2048, line_bytes=32, assoc=1, name="L1"),
+        l2=CacheParams(size_bytes=65536, line_bytes=64, assoc=1, name="L2"),
+        machine=ULTRASPARC2_360, nk=8)
+
+
+def test_bench_point_shape_and_positivity(tiny_config):
+    pt = bench_point("JACOBI", "GcdPad", 48, tiny_config, repeats=1)
+    assert pt["kernel"] == "JACOBI" and pt["n"] == 48
+    assert pt["addresses"] > 0
+    for stage in _STAGES:
+        assert pt[stage] > 0.0, stage
+    assert pt["addresses_per_second"] > 0.0
+
+
+def test_stage_times_nest_sensibly(tiny_config):
+    # Each stage strictly contains the previous one's work, so with
+    # best-of smoothing the ordering should hold even on noisy runners;
+    # allow generous slop rather than flake.
+    pt = bench_point("RESID", "Orig", 48, tiny_config, repeats=3)
+    assert pt["l2_seconds"] > 0.5 * pt["l1_seconds"]
+    assert pt["end_to_end_seconds"] > 0.5 * pt["l2_seconds"]
+
+
+def test_bench_sweep_report_roundtrips(tiny_config, tmp_path):
+    report = bench_sweep(kernels=("JACOBI", "RESID"), strategies=("Orig",),
+                         sizes=(40,), cfg=tiny_config, repeats=1)
+    assert report["v"] == 1 and len(report["points"]) == 2
+    assert {p["kernel"] for p in report["points"]} == {"JACOBI", "RESID"}
+    out = write_bench(report, tmp_path / "BENCH_sweep.json")
+    assert json.loads(out.read_text()) == report
+
+
+def test_disabled_cache_path_differential(tiny_config):
+    """Chunk-streamed simulation must stay exact with no point cache.
+
+    This is the perf job's regression gate: if chunking ever changed
+    simulated numbers, the fast path would be fast and wrong.
+    """
+    for kernel in ("JACOBI", "RESID"):
+        for strategy in ("Orig", "GcdPad"):
+            mono = run_point(kernel, strategy, 48, tiny_config,
+                             policy=PointPolicy(chunk_size=0))
+            for chunk in (64, 1024, 100_000):
+                chunked = run_point(kernel, strategy, 48, tiny_config,
+                                    policy=PointPolicy(chunk_size=chunk))
+                assert chunked == mono, (kernel, strategy, chunk)

@@ -56,6 +56,7 @@ class DirectMappedCache:
             self._set_dtype = np.int32
         else:  # pragma: no cover - absurd geometry
             self._set_dtype = np.int64
+        self._set_mask_narrow = self._set_dtype(params.num_sets - 1)
         self.stats = CacheStats()
         # Resident line id per set; -1 = invalid (no byte address maps to it).
         self._tags = np.full(params.num_sets, -1, dtype=np.int64)
@@ -78,7 +79,13 @@ class DirectMappedCache:
             return np.zeros(0, dtype=bool)
 
         lines = byte_addrs >> self._line_shift
-        sets = (lines & self._set_mask).astype(self._set_dtype)
+        # Narrow first, mask in place: the mask keeps only the low
+        # log2(num_sets) bits, which a truncating downcast preserves
+        # exactly, so this equals (lines & mask).astype(dtype) without
+        # the intermediate full-width int64 temporary — one fewer
+        # chunk-sized allocation per access on the hot path.
+        sets = lines.astype(self._set_dtype)
+        np.bitwise_and(sets, self._set_mask_narrow, out=sets)
 
         order = np.argsort(sets, kind="stable")
         s_sorted = sets[order]

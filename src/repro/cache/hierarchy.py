@@ -211,18 +211,26 @@ class CacheHierarchy:
         return first_miss
 
     # ------------------------------------------------------------------
-    def run(self, chunks) -> HierarchyStats:
+    def run(self, chunks, on_chunk=None) -> HierarchyStats:
         """Consume an iterable of chunks and return the statistics.
 
         Each chunk is either a plain address array or an
-        ``(addresses, is_write)`` pair.
+        ``(addresses, is_write)`` pair. The trace is consumed
+        incrementally — one chunk is simulated (and released) before
+        the next is generated, so peak memory is O(chunk), never
+        O(trace). ``on_chunk(addresses)`` (optional) fires before each
+        chunk is simulated; the experiment runner uses it for budget
+        deadlines and fault-injection ticks without breaking the
+        streaming structure.
         """
         for chunk in chunks:
             if isinstance(chunk, tuple):
                 addrs, w = chunk
-                self.access(addrs, w)
             else:
-                self.access(chunk)
+                addrs, w = chunk, None
+            if on_chunk is not None:
+                on_chunk(addrs)
+            self.access(addrs, w)
         return self.stats()
 
     def stats(self) -> HierarchyStats:

@@ -10,6 +10,7 @@ Exposes the library's main entry points without writing any Python:
     python -m repro fig22
     python -m repro mgrid [--level 7]
     python -m repro section1
+    python -m repro cache info --point-cache DIR
     python -m repro obs-report run.jsonl [--metrics metrics.json]
 
 ``--full`` switches to the paper's sweep density (equivalent to setting
@@ -24,6 +25,14 @@ supervised worker processes — a crashed, hung, or over-
 ``--point-timeout`` worker is SIGKILLed, retried, and finally
 quarantined to the analytic model, so the sweep always completes with a
 full result set. Usage errors exit with code 2 and a one-line message.
+
+Performance (``simulate``, ``table3``, ``figures``): ``--point-cache
+DIR`` keeps a persistent, content-addressed store of simulated points —
+repeated runs (and the parallel pool) skip anything any previous run
+already finished; ``repro cache info|clear --point-cache DIR`` inspects
+or empties it. ``--chunk-size N`` bounds the addresses materialized per
+trace chunk (0 = unbounded; results are bit-for-bit identical either
+way).
 
 Observability (every command, flags go after the subcommand name):
 ``--log-json PATH`` records the run's structured event timeline as
@@ -107,6 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "the worker is SIGKILLed on expiry; "
                              "serially it acts as a wall budget")
 
+    def add_perf(sp):
+        sp.add_argument("--point-cache", metavar="DIR",
+                        help="persistent point store: simulated points "
+                             "are reused across runs and processes "
+                             "(size-bounded, LRU; see "
+                             "REPRO_POINT_CACHE_BYTES)")
+        sp.add_argument("--chunk-size", type=int, metavar="N",
+                        help="addresses per simulated trace chunk "
+                             "(bounds memory; 0 = unbounded; default: "
+                             "a ~1M-address bound)")
+
     sp = sub.add_parser("select", help="run one tile-selection strategy",
                         parents=[obsopts])
     sp.add_argument("--strategy", default="GcdPad")
@@ -125,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--strategy", default="GcdPad")
     sp.add_argument("--n", type=int, required=True)
     add_full(sp)
+    add_perf(sp)
 
     sp = sub.add_parser("table1", help="Table 1: tile enumeration",
                         parents=[obsopts])
@@ -138,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "default: the standard N grid")
     add_full(sp)
     add_resilience(sp)
+    add_perf(sp)
 
     sp = sub.add_parser("figures", help="Figures 14-19 series for a kernel",
                         parents=[obsopts])
@@ -150,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "default: the standard N grid")
     add_full(sp)
     add_resilience(sp)
+    add_perf(sp)
 
     sp = sub.add_parser("fig22", help="Figure 22: padding memory overhead",
                         parents=[obsopts])
@@ -162,6 +185,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("section1", help="Section 1: capacity thresholds",
                         parents=[obsopts])
+
+    sp = sub.add_parser("cache", help="inspect/empty a --point-cache store",
+                        parents=[logopts])
+    sp.add_argument("action", choices=["info", "clear"],
+                    help="info: entry/byte/config counts; "
+                         "clear: remove every cached point")
+    sp.add_argument("--point-cache", metavar="DIR", required=True,
+                    help="the store directory to operate on")
 
     sp = sub.add_parser("obs-report",
                         help="summarize a --log-json event file",
@@ -237,24 +268,29 @@ def _validate(args) -> None:
         raise ConfigurationError(
             f"--point-timeout must be positive seconds, "
             f"got {args.point_timeout}")
+    if getattr(args, "chunk_size", None) is not None and args.chunk_size < 0:
+        raise ConfigurationError(
+            f"--chunk-size must be >= 0 (0 = unbounded), "
+            f"got {args.chunk_size}")
 
 
-def _resilience_kwargs(args) -> dict:
-    """checkpoint/budget/parallel keywords for table3()/figure_series()."""
-    kwargs: dict = {}
-    if getattr(args, "checkpoint", None):
-        kwargs["checkpoint"] = args.checkpoint
-    if getattr(args, "resume_force", False):
-        kwargs["resume_force"] = True
+def _sweep_options(args):
+    """The SweepOptions for table3()/figure_series() from CLI flags."""
+    from repro.experiments.options import SweepOptions
+
+    budget = None
     if getattr(args, "budget", None):
         from repro.resilience import PointBudget
 
-        kwargs["budget"] = PointBudget(wall_seconds=args.budget)
-    if getattr(args, "parallel", 1) != 1:
-        kwargs["parallel"] = args.parallel
-    if getattr(args, "point_timeout", None) is not None:
-        kwargs["point_timeout"] = args.point_timeout
-    return kwargs
+        budget = PointBudget(wall_seconds=args.budget)
+    return SweepOptions(
+        checkpoint=getattr(args, "checkpoint", None) or None,
+        budget=budget,
+        parallel=getattr(args, "parallel", 1),
+        point_timeout=getattr(args, "point_timeout", None),
+        resume_force=getattr(args, "resume_force", False),
+        point_cache=getattr(args, "point_cache", None) or None,
+        chunk_size=getattr(args, "chunk_size", None))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -318,9 +354,15 @@ def _dispatch(args) -> int:
 
     elif args.command == "simulate":
         from repro.experiments.config import ExperimentConfig
-        from repro.experiments.runner import run_point
+        from repro.experiments.options import PointPolicy
+        from repro.experiments.runner import open_store, run_point
 
-        p = run_point(args.kernel, args.strategy, args.n, ExperimentConfig())
+        policy = None
+        if args.point_cache or args.chunk_size is not None:
+            policy = PointPolicy(store=open_store(args.point_cache or None),
+                                 chunk_size=args.chunk_size)
+        p = run_point(args.kernel, args.strategy, args.n, ExperimentConfig(),
+                      policy=policy)
         print(f"{args.kernel} / {args.strategy} at N={args.n} "
               f"(NK={p.nk}):")
         print(f"  tile        : {p.tile or '(untiled)'}  "
@@ -337,7 +379,7 @@ def _dispatch(args) -> int:
     elif args.command == "table3":
         from repro.experiments.table3 import format_table3, table3
 
-        res = table3(sizes=args.n, **_resilience_kwargs(args))
+        res = table3(sizes=args.n, options=_sweep_options(args))
         print(format_table3(res))
         if args.csv:
             from repro.experiments.export import write_points_csv
@@ -351,7 +393,7 @@ def _dispatch(args) -> int:
         from repro.experiments.figures import figure_series, format_figure
 
         data = figure_series(args.kernel, sizes=args.n,
-                             **_resilience_kwargs(args))
+                             options=_sweep_options(args))
         print(format_figure(data, "l1_rate", "L1 miss rate (%)"))
         print()
         print(format_figure(data, "mflops", "MFlops"))
@@ -371,6 +413,16 @@ def _dispatch(args) -> int:
         from repro.experiments.mgrid_app import format_mgrid_app, mgrid_app
 
         print(format_mgrid_app(mgrid_app(finest_level=args.level)))
+
+    elif args.command == "cache":
+        from repro.experiments.runner import cache_info, clear_cache
+
+        if args.action == "info":
+            print(cache_info(args.point_cache).store.summary())
+        else:
+            removed = clear_cache(args.point_cache)
+            print(f"removed {removed} cached point(s) from "
+                  f"{args.point_cache}")
 
     elif args.command == "section1":
         from repro.experiments.section1 import (

@@ -99,12 +99,52 @@ STRATEGIES: dict[str, Strategy] = {
 }
 
 
+def _normalize(name: str, r: SelectionResult, di: int, dj: int,
+               mi: int, mj: int) -> SelectionResult:
+    """Enforce the :class:`SelectionResult` field contract.
+
+    See the table in the class docstring: registry name, ``cost``
+    finite iff tiled, tile clamped to the interior iteration span,
+    padding never shrinking. Downstream code (the runner's schedule
+    choice, report sorting, CSV export) relies on these invariants, so
+    a strategy that drifts fails here — loudly, at the boundary —
+    rather than as a subtly wrong table.
+    """
+    if r.di_p < di or r.dj_p < dj:
+        raise ConfigurationError(
+            f"{name}: padded dims {r.di_p}x{r.dj_p} shrink the array "
+            f"({di}x{dj})")
+    changes: dict = {}
+    if r.strategy != name:
+        changes["strategy"] = name
+    if r.tile is None:
+        if r.cost != float("inf"):
+            changes["cost"] = float("inf")
+    else:
+        from repro.core.cost import cost
+        from repro.types import TileSize
+
+        ti = min(r.tile.ti, max(1, di - mi))
+        tj = min(r.tile.tj, max(1, dj - mj))
+        if (ti, tj) != r.tile.as_tuple():
+            changes["tile"] = TileSize(ti, tj)
+        if not math.isfinite(r.cost) or "tile" in changes:
+            changes["cost"] = cost(ti, tj, mi, mj)
+    if not changes:
+        return r
+    from dataclasses import replace
+
+    return replace(r, **changes)
+
+
 def select(strategy: str, cs: int, di: int, dj: int, *, mi: int = 2,
            mj: int = 2, atd: int = 3) -> SelectionResult:
     """Run a strategy by Table 2 name.
 
-    Raises :class:`ConfigurationError` for unknown names (listing valid
-    ones to ease experiment configuration).
+    The result is normalized to the :class:`SelectionResult` field
+    contract (registry name, ``cost`` finite iff tiled, tile within the
+    interior span). Raises :class:`ConfigurationError` for unknown
+    names (listing valid ones to ease experiment configuration).
     """
     try:
         fn = STRATEGIES[strategy]
@@ -113,7 +153,8 @@ def select(strategy: str, cs: int, di: int, dj: int, *, mi: int = 2,
             f"unknown strategy {strategy!r}; valid: {sorted(STRATEGIES)}"
         ) from None
     metrics.inc("repro.select.calls", strategy=strategy)
-    result = fn(cs, di, dj, mi=mi, mj=mj, atd=atd)
+    result = _normalize(strategy, fn(cs, di, dj, mi=mi, mj=mj, atd=atd),
+                        di, dj, mi, mj)
     if log.isEnabledFor(logging.DEBUG):
         log.debug("%s(cs=%d, %dx%d) -> tile=%s dims=%dx%d", strategy, cs,
                   di, dj, result.tile, result.di_p, result.dj_p)

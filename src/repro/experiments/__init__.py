@@ -17,9 +17,11 @@ Results are memoized per process so benches can share sweeps.
 """
 
 from repro.experiments.config import ExperimentConfig, default_sizes
+from repro.experiments.options import PointPolicy, SweepOptions
 from repro.experiments.runner import (
     PointResult,
     open_journal,
+    open_store,
     run_point,
     run_point_analytic,
     run_point_resilient,
@@ -32,8 +34,11 @@ __all__ = [
     "ExperimentConfig",
     "default_sizes",
     "PointBudget",
+    "PointPolicy",
     "PointResult",
+    "SweepOptions",
     "open_journal",
+    "open_store",
     "run_point",
     "run_point_analytic",
     "run_point_resilient",

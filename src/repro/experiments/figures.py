@@ -18,6 +18,7 @@ import logging
 from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentConfig, default_sizes
+from repro.experiments.options import SweepOptions, merge_deprecated_kwargs
 from repro.experiments.report import format_series, provenance_note
 from repro.experiments.runner import PointResult, sweep
 from repro.perfmodel.machine import ULTRASPARC2_450
@@ -48,17 +49,18 @@ class FigureData:
 
 
 def figure_series(kernel: str, sizes: list[int] | None = None,
-                  cfg: ExperimentConfig | None = None,
-                  checkpoint=None, budget=None,
-                  parallel: int = 1, point_timeout: float | None = None,
-                  resume_force: bool = False) -> FigureData:
+                  cfg: ExperimentConfig | None = None, *,
+                  options: SweepOptions | None = None,
+                  **deprecated) -> FigureData:
     """Miss-rate and MFlops series for Figures 14-19.
 
-    ``checkpoint``/``budget`` run the sweep resiliently (resume after
-    interruption, degrade over-budget points to the analytic model);
-    ``parallel``/``point_timeout`` fan points out to supervised worker
-    processes (see :func:`repro.experiments.runner.sweep`).
+    Execution choices (checkpointing, budgets, parallel workers, the
+    persistent point cache, trace chunk size) travel in ``options`` —
+    see :class:`~repro.experiments.options.SweepOptions`. The
+    pre-``SweepOptions`` keyword form (``checkpoint=...`` etc.) is
+    deprecated and emits one :class:`DeprecationWarning`.
     """
+    options = merge_deprecated_kwargs("figure_series", options, deprecated)
     cfg = cfg or ExperimentConfig()
     sizes = sizes or default_sizes()
     strategies = ["Orig", "Tile", "Euc3D", "GcdPad", "Pad", "GcdPadNT"]
@@ -66,19 +68,17 @@ def figure_series(kernel: str, sizes: list[int] | None = None,
              kernel, len(strategies), len(sizes))
     return FigureData(kernel=kernel, sizes=sizes,
                       points=sweep(kernel, strategies, sizes, cfg,
-                                   checkpoint=checkpoint, budget=budget,
-                                   parallel=parallel,
-                                   point_timeout=point_timeout,
-                                   resume_force=resume_force))
+                                   options=options))
 
 
 def large_resid_series(sizes: list[int] | None = None,
-                       cfg: ExperimentConfig | None = None) -> FigureData:
+                       cfg: ExperimentConfig | None = None, *,
+                       options: SweepOptions | None = None) -> FigureData:
     """Figures 20-21: RESID at N = 400..700, 450 MHz preset."""
     if cfg is None:
         cfg = ExperimentConfig(machine=ULTRASPARC2_450)
     sizes = sizes or default_sizes(400, 700)
-    return figure_series("RESID", sizes, cfg)
+    return figure_series("RESID", sizes, cfg, options=options)
 
 
 def format_figure(data: FigureData, metric: str, label: str) -> str:

@@ -5,43 +5,45 @@ Pipeline per point:
 1. tile selection (:func:`repro.core.selector.select`) against the L1
    capacity, using the kernel's stencil metadata;
 2. array layout with the selected pads;
-3. exact reference trace of the selected schedule;
+3. exact reference trace of the selected schedule, streamed in bounded
+   address chunks (``chunk_size``) so peak memory is O(chunk), not
+   O(trace);
 4. two-level direct-mapped simulation (write-around);
 5. analytic performance prediction from the miss counts.
 
-Results are memoized per process (keyed by the full configuration) so
-that Table 3 and the per-figure benches share sweeps within a session.
-The memo is bounded (``REPRO_POINT_CACHE`` entries, default 4096 —
-roughly 1 KB each, comfortably above a full paper-density sweep's ~900
-points) so week-long sweeps cannot grow RSS without bound; inspect it
-with :func:`cache_info`.
+Every point runs through one entry point::
 
-Resilient execution (:func:`run_point_resilient`, threaded through
-:func:`sweep` via ``checkpoint=``/``budget=``) adds the production-run
-behaviours on top:
+    run_point(kernel, strategy, n, cfg, policy=PointPolicy(...))
 
-* completed points are journaled to a fingerprinted JSONL checkpoint
-  (:mod:`repro.resilience.checkpoint`); a re-run skips them, so a crash
-  mid-sweep loses at most the point in flight;
-* each point runs under a :class:`~repro.resilience.budget.PointBudget`
-  — transient (:class:`~repro.errors.RetryableError`) failures are
-  retried with backoff, and a point that exceeds its wall-clock or
-  trace-length budget **degrades** to the analytical miss model
-  (:mod:`repro.core.missmodel`) instead of failing the sweep. Degraded
-  points carry ``degraded=True`` so reports and CSV exports keep exact
-  and modeled numbers distinguishable.
+where the :class:`~repro.experiments.options.PointPolicy` names the
+machinery the point may use — nothing (the memoized exact fast path),
+the analytic miss model, a retry/degrade budget, a checkpoint journal,
+a persistent point store, a trace chunk bound — and sweeps carry the
+same choices in one frozen :class:`~repro.experiments.options.SweepOptions`.
+The old ``run_point_resilient`` / ``run_point_analytic`` functions and
+the ``sweep(checkpoint=..., budget=...)`` keyword forms remain as thin
+deprecation shims.
 
-Parallel execution (``sweep(..., parallel=N, point_timeout=S)``) runs
-points in supervised child processes (:mod:`repro.resilience.pool`):
-crashes, OOM kills, and hangs that no in-process budget can preempt are
-isolated per point, retried, and finally **quarantined** to the same
-analytic fallback, so a sweep always returns a full result set. The
-supervisor stays the single journal writer and validates every worker
-payload by round-trip before recording it; serial and parallel runs
-share the same journal format and ``config_fingerprint``, so either can
-resume the other's checkpoint. ``parallel=1`` (the default), a platform
-without multiprocessing, or a missing ``fork``/``spawn`` start method
-all take the unchanged serial path.
+Caching is layered; a point is served by the first layer that has it:
+
+* **journal** — this sweep's fingerprinted JSONL checkpoint
+  (:mod:`repro.resilience.checkpoint`): crash/resume within one sweep;
+* **store** — the persistent, content-addressed point cache
+  (:mod:`repro.perf.store`): reuse across runs and across the parallel
+  pool's processes, keyed by :func:`config_fingerprint` + point key;
+* **memo** — the in-process ``lru_cache`` (plain points only; bounded
+  by ``REPRO_POINT_CACHE`` entries, default 4096), letting Table 3 and
+  the per-figure benches share sweeps within a session; inspect it with
+  :func:`cache_info`.
+
+Resilience semantics are unchanged from the previous API: budgeted
+points retry transient failures with backoff and **degrade** to the
+analytical miss model (``degraded=True``) on exhaustion; parallel
+sweeps run points in supervised child processes with crash isolation
+and quarantine (:mod:`repro.resilience.pool`); serial and parallel runs
+share journal format and fingerprint, so either resumes the other.
+Degraded points are journaled but never written to the point store —
+a stand-in must not outlive the incident that caused it.
 """
 
 from __future__ import annotations
@@ -50,6 +52,7 @@ import logging
 import math
 import os
 import time
+import warnings
 from dataclasses import asdict, dataclass
 from functools import lru_cache
 from typing import Mapping
@@ -61,14 +64,19 @@ from repro.core.selector import select
 from repro.errors import (
     BudgetExceededError,
     CheckpointError,
-    ConfigurationError,
     ExperimentError,
     RetryableError,
 )
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.options import (
+    PointPolicy,
+    SweepOptions,
+    merge_deprecated_kwargs,
+)
 from repro.ir.stencil import JACOBI_3D, REDBLACK_6PT, RESID_27PT
 from repro.kernels import KERNELS, Schedule
 from repro.obs import events, metrics
+from repro.perf.store import PointStore, StoreInfo
 from repro.perfmodel.model import RunCounts, predict
 from repro.resilience import (
     CheckpointJournal,
@@ -80,9 +88,10 @@ from repro.resilience import (
 from repro.resilience import faults
 from repro.types import SelectionResult
 
-__all__ = ["PointResult", "run_point", "run_point_analytic",
-           "run_point_resilient", "sweep", "open_journal",
-           "config_fingerprint", "clear_cache", "cache_info"]
+__all__ = ["PointResult", "RunnerCacheInfo", "run_point",
+           "run_point_analytic", "run_point_resilient", "sweep",
+           "open_journal", "open_store", "config_fingerprint",
+           "clear_cache", "cache_info"]
 
 log = logging.getLogger(__name__)
 
@@ -163,8 +172,14 @@ def _record_sim_metrics(hier: CacheHierarchy, stats, seconds: float) -> None:
 def _simulate_exact(kernel_name: str, strategy: str, n: int,
                     cfg: ExperimentConfig,
                     budget: PointBudget | None = None,
+                    chunk_size: int | None = None,
                     clock=time.monotonic) -> PointResult:
-    """One exact trace simulation, optionally under a budget's deadline."""
+    """One exact trace simulation, optionally under a budget's deadline.
+
+    ``chunk_size`` bounds the addresses materialized per trace chunk
+    (``None`` = the generator's default bound, ``0`` = unbounded); the
+    simulated statistics are bit-for-bit identical for every value.
+    """
     faults.tick("simulate")
     kern = _kernel_cls(kernel_name)(n, cfg.nk, elem_bytes=cfg.elem_bytes)
     meta = kern.meta
@@ -187,7 +202,8 @@ def _simulate_exact(kernel_name: str, strategy: str, n: int,
     t0 = time.perf_counter()
     with events.span("simulate", kernel=kernel_name, strategy=strategy,
                      n=n) as sp:
-        for addrs, w in kern.trace(sel, schedule, inter_pad_cache=inter_pad):
+        for addrs, w in kern.trace(sel, schedule, inter_pad_cache=inter_pad,
+                                   chunk_size=chunk_size):
             faults.tick("chunk")
             if deadline is not None:
                 deadline.check(len(addrs))
@@ -235,17 +251,6 @@ def _run_point_cached(kernel_name: str, strategy: str, n: int,
     return _simulate_exact(kernel_name, strategy, n, cfg)
 
 
-def run_point(kernel: str, strategy: str, n: int,
-              cfg: ExperimentConfig | None = None) -> PointResult:
-    """Simulate one configuration (memoized)."""
-    with events.span("point", kernel=kernel, strategy=strategy, n=n) as sp:
-        result = _run_point_cached(kernel, strategy, n,
-                                   cfg or ExperimentConfig())
-        sp["degraded"] = result.degraded
-    metrics.inc("repro.runner.points", mode="exact")
-    return result
-
-
 # ----------------------------------------------------------------------
 # analytic degradation
 # ----------------------------------------------------------------------
@@ -259,8 +264,8 @@ _STENCILS = {
 }
 
 
-def run_point_analytic(kernel: str, strategy: str, n: int,
-                       cfg: ExperimentConfig | None = None) -> PointResult:
+def _analytic_point(kernel: str, strategy: str, n: int,
+                    cfg: ExperimentConfig) -> PointResult:
     """Estimate one configuration from the analytical miss model.
 
     The capacity-only model of :mod:`repro.core.missmodel` stands in
@@ -271,7 +276,6 @@ def run_point_analytic(kernel: str, strategy: str, n: int,
     ~15% at benign sizes and under-predicts conflict pathologies
     (which is exactly the information an exact run would have added).
     """
-    cfg = cfg or ExperimentConfig()
     kern = _kernel_cls(kernel)(n, cfg.nk, elem_bytes=cfg.elem_bytes)
     meta = kern.meta
     sel = select(strategy, cfg.cs, n, n, mi=meta.mi, mj=meta.mj, atd=meta.atd)
@@ -325,7 +329,7 @@ def run_point_analytic(kernel: str, strategy: str, n: int,
 
 
 # ----------------------------------------------------------------------
-# resilient execution: checkpoints + budgets
+# fingerprints, journals, stores
 # ----------------------------------------------------------------------
 
 def config_fingerprint(cfg: ExperimentConfig) -> str:
@@ -349,6 +353,24 @@ def open_journal(path, cfg: ExperimentConfig | None = None, *,
     return CheckpointJournal.open(
         path, config_fingerprint(cfg or ExperimentConfig()), force=force)
 
+
+def open_store(point_cache) -> PointStore | None:
+    """Coerce ``point_cache`` (path / PointStore / None) to a store."""
+    if point_cache is None or isinstance(point_cache, PointStore):
+        return point_cache
+    return PointStore(point_cache)
+
+
+def _resolve_journal(checkpoint, cfg: ExperimentConfig, *,
+                     force: bool) -> CheckpointJournal | None:
+    if checkpoint is None or isinstance(checkpoint, CheckpointJournal):
+        return checkpoint
+    return open_journal(checkpoint, cfg, force=force)
+
+
+# ----------------------------------------------------------------------
+# payload round-tripping
+# ----------------------------------------------------------------------
 
 def _point_to_payload(p: PointResult) -> dict:
     return asdict(p)
@@ -374,9 +396,9 @@ _INT_FIELDS = ("n", "nk", "l1_misses", "l2_misses", "refs", "di_p", "dj_p")
 def _check_payload(key, payload) -> PointResult:
     """Round-trip + type validation of a point payload for ``key``.
 
-    Worker payloads (and journal records) are only trusted after they
-    reconstruct into a :class:`PointResult` whose identity matches the
-    task key and whose fields carry the right types — a truncated or
+    Worker payloads (and journal/store records) are only trusted after
+    they reconstruct into a :class:`PointResult` whose identity matches
+    the task key and whose fields carry the right types — a truncated or
     type-mangled payload from a dying worker raises
     :class:`~repro.errors.CheckpointError` and is treated as a failed
     attempt, never journaled.
@@ -424,9 +446,28 @@ def _check_payload(key, payload) -> PointResult:
     return result
 
 
+def _store_lookup(store: PointStore, fingerprint_: str,
+                  key: tuple) -> PointResult | None:
+    """Validated store hit, or ``None`` (invalid entries read as misses)."""
+    payload = store.get(fingerprint_, key)
+    if payload is None:
+        return None
+    try:
+        return _check_payload(key, payload)
+    except CheckpointError as exc:
+        log.warning("ignoring invalid point-cache entry for %r (%s)",
+                    key, exc)
+        return None
+
+
+# ----------------------------------------------------------------------
+# the unified point entry
+# ----------------------------------------------------------------------
+
 def _compute_point(kernel: str, strategy: str, n: int,
                    cfg: ExperimentConfig,
-                   budget: PointBudget | None) -> PointResult:
+                   budget: PointBudget | None,
+                   chunk_size: int | None = None) -> PointResult:
     """Exact simulation under ``budget``, degrading to the model.
 
     The shared core of serial resilient execution and the pool worker:
@@ -439,7 +480,8 @@ def _compute_point(kernel: str, strategy: str, n: int,
     try:
         result = run_with_retries(
             lambda: _simulate_exact(kernel, strategy, n, cfg,
-                                    budget=budget, clock=clock),
+                                    budget=budget, chunk_size=chunk_size,
+                                    clock=clock),
             budget, sleep=faults.active_sleep())
         metrics.inc("repro.runner.points", mode="exact")
         return result
@@ -450,7 +492,80 @@ def _compute_point(kernel: str, strategy: str, n: int,
         events.emit("degraded", kernel=kernel, strategy=strategy, n=n,
                     reason=type(exc).__name__)
         metrics.inc("repro.resilience.degraded")
-        return run_point_analytic(kernel, strategy, n, cfg)
+        return _analytic_point(kernel, strategy, n, cfg)
+
+
+def run_point(kernel: str, strategy: str, n: int,
+              cfg: ExperimentConfig | None = None, *,
+              policy: PointPolicy | None = None) -> PointResult:
+    """Simulate one configuration under ``policy``.
+
+    The default policy is the memoized exact fast path. A policy with
+    ``analytic=True`` returns the miss-model estimate; one carrying a
+    journal and/or store serves the point from the first cache layer
+    that has it (journal, then store) and records new results back; a
+    ``budget`` adds retry/degrade bounds; ``chunk_size`` bounds trace
+    memory. See :class:`~repro.experiments.options.PointPolicy`.
+    """
+    cfg = cfg or ExperimentConfig()
+    policy = policy or PointPolicy()
+    with events.span("point", kernel=kernel, strategy=strategy, n=n) as sp:
+        if policy.plain:
+            result = _run_point_cached(kernel, strategy, n, cfg)
+            sp["degraded"] = result.degraded
+            metrics.inc("repro.runner.points", mode="exact")
+            return result
+        if policy.analytic:
+            result = _analytic_point(kernel, strategy, n, cfg)
+            sp["source"] = "analytic"
+            sp["degraded"] = True
+            return result
+
+        key = (kernel, strategy, n)
+        if policy.journal is not None:
+            payload = policy.journal.get(key)
+            if payload is not None:
+                result = _point_from_payload(payload)
+                sp["source"] = "journal"
+                sp["degraded"] = result.degraded
+                metrics.inc("repro.runner.points", mode="journal")
+                return result
+        if policy.store is not None:
+            result = _store_lookup(policy.store, config_fingerprint(cfg), key)
+            if result is not None:
+                sp["source"] = "store"
+                sp["degraded"] = result.degraded
+                metrics.inc("repro.runner.points", mode="store")
+                if policy.journal is not None:
+                    # Promote into this sweep's checkpoint so a resumed
+                    # run skips the store round-trip too.
+                    policy.journal.record(key, _point_to_payload(result))
+                return result
+
+        result = _compute_point(kernel, strategy, n, cfg,
+                                policy.budget, policy.chunk_size)
+        sp["degraded"] = result.degraded
+        payload = _point_to_payload(result)
+        if policy.journal is not None:
+            policy.journal.record(key, payload)
+        if policy.store is not None and not result.degraded:
+            policy.store.put(config_fingerprint(cfg), key, payload)
+        return result
+
+
+# ----------------------------------------------------------------------
+# deprecation shims (remove two PRs after this one; see README)
+# ----------------------------------------------------------------------
+
+def run_point_analytic(kernel: str, strategy: str, n: int,
+                       cfg: ExperimentConfig | None = None) -> PointResult:
+    """Deprecated: use ``run_point(..., policy=PointPolicy(analytic=True))``."""
+    warnings.warn(
+        "run_point_analytic() is deprecated; call "
+        "run_point(..., policy=PointPolicy(analytic=True)) instead",
+        DeprecationWarning, stacklevel=2)
+    return run_point(kernel, strategy, n, cfg,
+                     policy=PointPolicy(analytic=True))
 
 
 def run_point_resilient(kernel: str, strategy: str, n: int,
@@ -458,33 +573,21 @@ def run_point_resilient(kernel: str, strategy: str, n: int,
                         budget: PointBudget | None = None,
                         journal: CheckpointJournal | None = None
                         ) -> PointResult:
-    """Simulate one configuration with checkpointing and degradation.
+    """Deprecated: use ``run_point(..., policy=PointPolicy(...))``."""
+    warnings.warn(
+        "run_point_resilient() is deprecated; call "
+        "run_point(..., policy=PointPolicy(budget=..., journal=...)) "
+        "instead", DeprecationWarning, stacklevel=2)
+    # The legacy function always ran resiliently: no explicit budget
+    # still meant default retry/degrade bounds, never the memoized path.
+    return run_point(kernel, strategy, n, cfg,
+                     policy=PointPolicy(budget=budget or PointBudget(),
+                                        journal=journal))
 
-    Order of business: a point already in the journal is returned
-    without re-simulating; otherwise the exact simulation runs under
-    ``budget`` (retryable failures are retried with backoff); if the
-    budget is exceeded or retries are exhausted the analytical model
-    supplies a ``degraded=True`` stand-in. Whatever was produced is
-    journaled before returning, so progress survives the next crash.
-    """
-    cfg = cfg or ExperimentConfig()
-    key = (kernel, strategy, n)
-    with events.span("point", kernel=kernel, strategy=strategy, n=n) as sp:
-        if journal is not None:
-            payload = journal.get(key)
-            if payload is not None:
-                result = _point_from_payload(payload)
-                sp["source"] = "journal"
-                sp["degraded"] = result.degraded
-                metrics.inc("repro.runner.points", mode="journal")
-                return result
 
-        result = _compute_point(kernel, strategy, n, cfg, budget)
-        sp["degraded"] = result.degraded
-        if journal is not None:
-            journal.record(key, _point_to_payload(result))
-        return result
-
+# ----------------------------------------------------------------------
+# sweeps
+# ----------------------------------------------------------------------
 
 def _pool_point_task(args) -> dict:
     """Worker-side pool entry: compute one point, return its payload.
@@ -494,26 +597,31 @@ def _pool_point_task(args) -> dict:
     supervisor round-trips the payload through :func:`_check_payload`
     before trusting it.
     """
-    kernel, strategy, n, cfg, budget = args
-    return _point_to_payload(_compute_point(kernel, strategy, n, cfg, budget))
+    kernel, strategy, n, cfg, budget, chunk_size = args
+    return _point_to_payload(
+        _compute_point(kernel, strategy, n, cfg, budget, chunk_size))
 
 
 def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
                     cfg: ExperimentConfig, *,
                     journal: CheckpointJournal | None,
+                    store: PointStore | None,
                     budget: PointBudget | None,
                     workers: int,
-                    point_timeout: float | None
+                    point_timeout: float | None,
+                    chunk_size: int | None
                     ) -> dict[str, list[PointResult]]:
     """Run sweep points through the supervised process pool.
 
-    Journal hits are served without spawning a worker; everything else
-    fans out. The supervisor validates every payload, records it to the
-    journal (single writer), and quarantines repeatedly-failing points
-    to the analytic model — the sweep always returns a full grid.
+    Journal and store hits are served without spawning a worker;
+    everything else fans out. The supervisor validates every payload,
+    records it to the journal and store (single writer — workers never
+    touch either), and quarantines repeatedly-failing points to the
+    analytic model — the sweep always returns a full grid.
     """
     from repro.resilience.pool import PoolPolicy, run_supervised
 
+    fp = config_fingerprint(cfg)
     results: dict[tuple, PointResult] = {}
     tasks: list[tuple[tuple, tuple]] = []
     for strategy in strategies:
@@ -525,8 +633,19 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
                 metrics.inc("repro.runner.points", mode="journal")
                 events.emit("point", kernel=kernel, strategy=strategy, n=n,
                             degraded=results[key].degraded, source="journal")
-            else:
-                tasks.append((key, (kernel, strategy, n, cfg, budget)))
+                continue
+            hit = (_store_lookup(store, fp, key)
+                   if store is not None else None)
+            if hit is not None:
+                results[key] = hit
+                metrics.inc("repro.runner.points", mode="store")
+                events.emit("point", kernel=kernel, strategy=strategy, n=n,
+                            degraded=hit.degraded, source="store")
+                if journal is not None:
+                    journal.record(key, _point_to_payload(hit))
+                continue
+            tasks.append((key, (kernel, strategy, n, cfg, budget,
+                                chunk_size)))
 
     retry_policy = budget or PointBudget()
     policy = PoolPolicy(workers=workers, point_timeout=point_timeout,
@@ -534,15 +653,15 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
                         backoff_seconds=retry_policy.backoff_seconds)
 
     def fallback(key, args) -> dict:
-        k, s, n, cfg_, _ = args
-        return _point_to_payload(run_point_analytic(k, s, n, cfg_))
+        k, s, n, cfg_, _, _ = args
+        return _point_to_payload(_analytic_point(k, s, n, cfg_))
 
     def on_result(key, payload, quarantined) -> None:
         result = _check_payload(key, payload)
         results[key] = result
         if not quarantined:
             # Quarantined fallbacks already counted mode="analytic"
-            # inside run_point_analytic (supervisor side).
+            # inside _analytic_point (supervisor side).
             metrics.inc("repro.runner.points",
                         mode="analytic" if result.degraded else "exact")
         events.emit("point", kernel=key[0], strategy=key[1], n=key[2],
@@ -550,6 +669,8 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
                     source="quarantine" if quarantined else "worker")
         if journal is not None:
             journal.record(key, payload)
+        if store is not None and not result.degraded:
+            store.put(fp, key, payload)
 
     if tasks:
         log.info("parallel sweep %s: %d points across %d workers "
@@ -564,40 +685,40 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
 
 def sweep(kernel: str, strategies: list[str], sizes: list[int],
           cfg: ExperimentConfig | None = None, *,
-          checkpoint: "str | os.PathLike | CheckpointJournal | None" = None,
-          budget: PointBudget | None = None,
-          parallel: int = 1,
-          point_timeout: float | None = None,
-          resume_force: bool = False
-          ) -> dict[str, list[PointResult]]:
+          options: SweepOptions | None = None,
+          **deprecated) -> dict[str, list[PointResult]]:
     """Run a full (strategy x size) sweep for one kernel.
 
-    With ``checkpoint`` (a journal path or an open
-    :class:`CheckpointJournal`) and/or ``budget`` set, points run
-    through :func:`run_point_resilient`: completed points are skipped
-    on resume and over-budget points degrade to the analytic model.
-    Without either, the fast memoized path is used unchanged.
+    All execution choices travel in one frozen
+    :class:`~repro.experiments.options.SweepOptions`:
 
-    ``parallel > 1`` fans points out to that many supervised worker
-    processes (:mod:`repro.resilience.pool`): a crashed, hung, or
-    over-``point_timeout`` worker is SIGKILLed, retried, and finally
-    quarantined to the analytic model, and the supervisor remains the
-    single journal writer. Serial and parallel runs resume each other's
-    checkpoints interchangeably. Where multiprocessing is unavailable
-    the sweep degrades to the serial path (``point_timeout`` then
-    applies as a per-point wall-clock budget).
+    * ``checkpoint``/``resume_force`` — completed points are journaled
+      and skipped on resume;
+    * ``budget``/``point_timeout`` — over-budget points degrade to the
+      analytic model;
+    * ``point_cache`` — points are served from / recorded to the
+      persistent store, shared across runs and processes;
+    * ``parallel`` — points fan out to supervised worker processes
+      (:mod:`repro.resilience.pool`): a crashed, hung, or timed-out
+      worker is SIGKILLed, retried, and finally quarantined to the
+      analytic model; where multiprocessing is unavailable the sweep
+      degrades to the serial path (``point_timeout`` then applies as a
+      per-point wall-clock budget);
+    * ``chunk_size`` — trace memory bound (results are bit-for-bit
+      independent of it).
+
+    With default options the fast memoized path is used unchanged.
+    The pre-``SweepOptions`` keyword form (``checkpoint=...`` etc.) is
+    deprecated and emits one :class:`DeprecationWarning`.
     """
+    options = merge_deprecated_kwargs("sweep", options,
+                                      deprecated) or SweepOptions()
     cfg = cfg or ExperimentConfig()
-    if parallel < 1:
-        raise ConfigurationError(f"parallel must be >= 1, got {parallel}")
-    if point_timeout is not None and point_timeout <= 0:
-        raise ConfigurationError(
-            f"point_timeout must be positive, got {point_timeout}")
     log.debug("sweep %s: %d strategies x %d sizes", kernel,
               len(strategies), len(sizes))
     with events.span("sweep", kernel=kernel, strategies=len(strategies),
-                     sizes=len(sizes), parallel=parallel):
-        use_parallel = parallel > 1
+                     sizes=len(sizes), parallel=options.parallel):
+        use_parallel = options.parallel > 1
         if use_parallel:
             from repro.resilience import pool
 
@@ -605,33 +726,69 @@ def sweep(kernel: str, strategies: list[str], sizes: list[int],
                 log.warning("multiprocessing unavailable on this platform; "
                             "running the sweep serially")
                 use_parallel = False
-        journal: CheckpointJournal | None = None
-        if checkpoint is not None:
-            journal = (checkpoint if isinstance(checkpoint, CheckpointJournal)
-                       else open_journal(checkpoint, cfg, force=resume_force))
+        journal = _resolve_journal(options.checkpoint, cfg,
+                                   force=options.resume_force)
+        store = open_store(options.point_cache)
         if use_parallel:
             return _sweep_parallel(kernel, strategies, sizes, cfg,
-                                   journal=journal, budget=budget,
-                                   workers=parallel,
-                                   point_timeout=point_timeout)
-        if point_timeout is not None and budget is None:
+                                   journal=journal, store=store,
+                                   budget=options.budget,
+                                   workers=options.parallel,
+                                   point_timeout=options.point_timeout,
+                                   chunk_size=options.chunk_size)
+        budget = options.budget
+        if options.point_timeout is not None and budget is None:
             # Serial degradation of --point-timeout: no supervisor to
             # SIGKILL, so enforce it as an in-process wall budget.
-            budget = PointBudget(wall_seconds=point_timeout)
-        if journal is None and budget is None:
+            budget = PointBudget(wall_seconds=options.point_timeout)
+        policy = PointPolicy(budget=budget, journal=journal, store=store,
+                             chunk_size=options.chunk_size)
+        if policy.plain:
             return {s: [run_point(kernel, s, n, cfg) for n in sizes]
                     for s in strategies}
-        return {s: [run_point_resilient(kernel, s, n, cfg,
-                                        budget=budget, journal=journal)
+        return {s: [run_point(kernel, s, n, cfg, policy=policy)
                     for n in sizes]
                 for s in strategies}
 
 
-def clear_cache() -> None:
-    """Drop memoized results (tests use this to force fresh runs)."""
+# ----------------------------------------------------------------------
+# cache administration
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunnerCacheInfo:
+    """Combined view of the in-process memo and the persistent store.
+
+    The first four fields mirror ``functools.lru_cache.cache_info()``
+    so existing consumers (``repro.obs``, tests) keep working; ``store``
+    is present only when a persistent store was passed to
+    :func:`cache_info`.
+    """
+
+    hits: int
+    misses: int
+    maxsize: int | None
+    currsize: int
+    store: StoreInfo | None = None
+
+
+def clear_cache(store=None) -> int:
+    """Drop memoized results; with ``store``, empty the persistent one.
+
+    Returns the number of persistent entries removed (0 without a
+    store). After a clear, nothing is served stale: the next
+    :func:`run_point` re-simulates and re-populates both layers.
+    """
     _run_point_cached.cache_clear()
+    resolved = open_store(store)
+    return resolved.clear() if resolved is not None else 0
 
 
-def cache_info():
-    """Memoization statistics (hits/misses/maxsize/currsize)."""
-    return _run_point_cached.cache_info()
+def cache_info(store=None) -> RunnerCacheInfo:
+    """Memo statistics, plus the persistent store's when one is given."""
+    memo = _run_point_cached.cache_info()
+    resolved = open_store(store)
+    return RunnerCacheInfo(
+        hits=memo.hits, misses=memo.misses, maxsize=memo.maxsize,
+        currsize=memo.currsize,
+        store=resolved.info() if resolved is not None else None)

@@ -12,11 +12,17 @@ Improvement conventions follow Section 4.3 exactly:
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.experiments.config import ExperimentConfig, default_sizes
+from repro.experiments.options import SweepOptions, merge_deprecated_kwargs
 from repro.experiments.report import format_table, provenance_note
-from repro.experiments.runner import PointResult, sweep
+from repro.experiments.runner import (
+    PointResult,
+    _resolve_journal,
+    open_store,
+    sweep,
+)
 from repro.experiments.transforms_table import PAPER_STRATEGIES
 
 __all__ = ["KernelSummary", "Table3Result", "table3", "format_table3"]
@@ -68,35 +74,37 @@ def summarize(kernel: str, results: dict[str, list[PointResult]]
 def table3(kernels: tuple[str, ...] = ("JACOBI", "REDBLACK", "RESID"),
            strategies: tuple[str, ...] = PAPER_STRATEGIES,
            sizes: list[int] | None = None,
-           cfg: ExperimentConfig | None = None,
-           checkpoint=None, budget=None,
-           parallel: int = 1, point_timeout: float | None = None,
-           resume_force: bool = False) -> Table3Result:
-    """Table 3 sweep; ``checkpoint``/``budget`` enable resilient runs.
+           cfg: ExperimentConfig | None = None, *,
+           options: SweepOptions | None = None,
+           **deprecated) -> Table3Result:
+    """Table 3 sweep; execution choices travel in ``options``.
 
-    All kernels share one checkpoint journal (points are keyed by
-    kernel/strategy/size), so a resumed ``table3`` re-simulates only
-    what the previous run had not finished. ``parallel``/
-    ``point_timeout`` fan points out to supervised worker processes
-    (see :func:`repro.experiments.runner.sweep`); ``resume_force``
-    adopts a journal whose fingerprint does not match ``cfg``.
+    All kernels share one checkpoint journal and one point store
+    (points are keyed by kernel/strategy/size), so a resumed or warm
+    ``table3`` re-simulates only what no previous run had finished.
+    See :class:`~repro.experiments.options.SweepOptions` for the full
+    menu (budgets, parallel workers, point cache, chunk size). The
+    pre-``SweepOptions`` keyword form (``checkpoint=...`` etc.) is
+    deprecated and emits one :class:`DeprecationWarning`.
     """
+    options = merge_deprecated_kwargs("table3", options,
+                                      deprecated) or SweepOptions()
     cfg = cfg or ExperimentConfig()
     sizes = sizes or default_sizes()
-    if checkpoint is not None:
-        from repro.experiments.runner import open_journal
-        from repro.resilience import CheckpointJournal
-
-        if not isinstance(checkpoint, CheckpointJournal):
-            checkpoint = open_journal(checkpoint, cfg, force=resume_force)
+    # Resolve the journal and store once so every kernel's sweep shares
+    # the same open resources (and the fingerprint check runs once).
+    options = replace(
+        options,
+        checkpoint=_resolve_journal(options.checkpoint, cfg,
+                                    force=options.resume_force),
+        point_cache=open_store(options.point_cache))
     points: dict[str, dict[str, list[PointResult]]] = {}
     summaries = []
     for ki, kernel in enumerate(kernels, start=1):
         log.info("table3: sweeping %s (%d/%d), %d strategies x %d sizes",
                  kernel, ki, len(kernels), 1 + len(strategies), len(sizes))
         res = sweep(kernel, ["Orig", *strategies], sizes, cfg,
-                    checkpoint=checkpoint, budget=budget,
-                    parallel=parallel, point_timeout=point_timeout)
+                    options=options)
         points[kernel] = res
         summaries.append(summarize(kernel, res))
     return Table3Result(sizes=sizes, summaries=summaries, points=points)

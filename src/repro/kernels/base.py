@@ -121,14 +121,18 @@ class StencilKernel(abc.ABC):
 
     def trace(self, selection: SelectionResult,
               schedule: Schedule | None = None,
-              inter_pad_cache: int | None = None
+              inter_pad_cache: int | None = None,
+              chunk_size: int | None = None
               ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Reference trace for a tile-selection result.
 
         The schedule defaults to TILED when the selection carries a tile
         and UNTILED otherwise; padded dimensions come from the
         selection. ``inter_pad_cache`` enables Section 3.5 inter-variable
-        padding (see :meth:`specs`).
+        padding (see :meth:`specs`). ``chunk_size`` bounds the addresses
+        per yielded chunk (``None`` = the generator's default bound,
+        ``0`` = unbounded / monolithic per schedule chunk); it affects
+        memory and batching only, never the reference stream itself.
         """
         from repro.trace.generator import trace_chunks
 
@@ -143,7 +147,8 @@ class StencilKernel(abc.ABC):
         if schedule is Schedule.TILED_3LOOP and selection.array_tile:
             tk = selection.array_tile.tk
         chunks = self.iter_chunks(schedule, ti=ti, tj=tj, tk=tk)
-        return trace_chunks(chunks, self.refs(specs))
+        return trace_chunks(chunks, self.refs(specs),
+                            max_addresses=chunk_size)
 
     # ------------------------------------------------------------------
     # accounting

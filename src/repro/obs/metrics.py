@@ -12,6 +12,7 @@ name                                   type        labels
 =====================================  ==========  =========================
 ``repro.trace.chunks``                 counter     —
 ``repro.trace.addresses``              counter     —
+``repro.trace.chunk_splits``           counter     —
 ``repro.sim.accesses``                 counter     ``level``
 ``repro.sim.misses``                   counter     ``level``
 ``repro.sim.miss_class``               counter     ``level``, ``cls`` in
@@ -25,8 +26,8 @@ name                                   type        labels
                                                    degenerate|cost
 ``repro.select.gcdpad.calls``          counter     —
 ``repro.select.pad.searched``          counter     —
-``repro.runner.points``                counter     ``mode`` in
-                                                   exact|analytic|journal
+``repro.runner.points``                counter     ``mode`` in exact|
+                                                   analytic|journal|store
 ``repro.runner.memo.hits``             gauge       —
 ``repro.runner.memo.misses``           gauge       —
 ``repro.runner.memo.currsize``         gauge       —
@@ -41,6 +42,10 @@ name                                   type        labels
                                                    error
 ``repro.pool.retries``                 counter     —
 ``repro.pool.quarantined``             counter     —
+``repro.perf.point_cache_hits``        counter     —
+``repro.perf.point_cache_misses``      counter     —
+``repro.perf.point_cache_puts``        counter     —
+``repro.perf.point_cache_evictions``   counter     —
 =====================================  ==========  =========================
 
 Per-level ``cold + conflict + capacity`` miss counts sum exactly to

@@ -1,0 +1,181 @@
+"""Sweep benchmark harness: where does a simulated point's time go?
+
+Times the three stages of one point — reference-trace generation,
+L1-only simulation, and the full L1+L2 hierarchy — plus the end-to-end
+point (selection + layout + trace + simulation + prediction), and
+writes the result as ``BENCH_sweep.json`` so the repo's performance
+trajectory is data, not anecdote::
+
+    PYTHONPATH=src python -m repro.perf.bench --out BENCH_sweep.json
+
+Timings use :mod:`repro.perf.timing` (perf_counter, best-of-N — the
+minimum, because external interference only ever adds time). Stage
+timings exclude the memo and any persistent store: every run is a cold
+simulation. The JSON layout:
+
+* ``points[*].trace_seconds`` — generate and consume the address trace;
+* ``points[*].l1_seconds`` — trace + L1 direct-mapped simulation;
+* ``points[*].l2_seconds`` — trace + full hierarchy (L1 and L2);
+* ``points[*].end_to_end_seconds`` — the whole point, exactly what a
+  cold ``run_point`` pays;
+* ``points[*].addresses`` / ``addresses_per_second`` — trace length and
+  end-to-end throughput.
+
+CI runs this on a small grid and archives the artifact; compare two
+files with a glance at ``addresses_per_second``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+from collections import deque
+from typing import Sequence
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.perf.timing import best_of, time_call
+
+__all__ = ["bench_point", "bench_sweep", "write_bench", "main"]
+
+_SCHEMA_VERSION = 1
+
+#: Default CI-friendly grid: both the cheap 7-point kernel and the
+#: 27-point one the paper stresses at scale, tiled and untiled.
+DEFAULT_KERNELS = ("JACOBI", "RESID")
+DEFAULT_STRATEGIES = ("Orig", "GcdPad")
+
+
+def _point_pipeline(kernel: str, strategy: str, n: int, cfg):
+    """(trace_fn, l1_fn, l2_fn, end_fn, addresses) for one point."""
+    from repro.cache.direct_mapped import DirectMappedCache
+    from repro.core.selector import select
+    from repro.experiments.runner import _schedule_for, _simulate_exact
+    from repro.kernels import KERNELS
+
+    kern = KERNELS[kernel](n, cfg.nk, elem_bytes=cfg.elem_bytes)
+    meta = kern.meta
+    sel = select(strategy, cfg.cs, n, n, mi=meta.mi, mj=meta.mj,
+                 atd=meta.atd)
+    schedule = _schedule_for(strategy, kernel, sel)
+    inter_pad = cfg.cs if cfg.inter_pad else None
+
+    def chunks():
+        return kern.trace(sel, schedule, inter_pad_cache=inter_pad)
+
+    def trace_only():
+        # deque(maxlen=0) drains the generator with no Python loop.
+        deque(chunks(), maxlen=0)
+
+    def l1_only():
+        sim = DirectMappedCache(cfg.l1)
+        for addrs, _ in chunks():
+            sim.access(addrs)
+
+    def full_hierarchy():
+        CacheHierarchy(cfg.levels).run(chunks())
+
+    def end_to_end():
+        _simulate_exact(kernel, strategy, n, cfg)
+
+    addresses = sum(len(a) for a, _ in chunks())
+    return trace_only, l1_only, full_hierarchy, end_to_end, addresses
+
+
+def bench_point(kernel: str, strategy: str, n: int, cfg=None, *,
+                repeats: int = 3) -> dict:
+    """Stage timings for one (kernel, strategy, N) point."""
+    from repro.experiments.config import ExperimentConfig
+
+    cfg = cfg or ExperimentConfig()
+    trace_fn, l1_fn, l2_fn, end_fn, addresses = _point_pipeline(
+        kernel, strategy, n, cfg)
+    end_seconds = best_of(end_fn, repeats)
+    return {
+        "kernel": kernel,
+        "strategy": strategy,
+        "n": n,
+        "nk": cfg.nk,
+        "addresses": addresses,
+        "trace_seconds": best_of(trace_fn, repeats),
+        "l1_seconds": best_of(l1_fn, repeats),
+        "l2_seconds": best_of(l2_fn, repeats),
+        "end_to_end_seconds": end_seconds,
+        "addresses_per_second": addresses / end_seconds if end_seconds else 0.0,
+    }
+
+
+def bench_sweep(kernels: Sequence[str] = DEFAULT_KERNELS,
+                strategies: Sequence[str] = DEFAULT_STRATEGIES,
+                sizes: Sequence[int] = (96,),
+                cfg=None, *, repeats: int = 3) -> dict:
+    """Bench every (kernel, strategy, N) point; return the report dict."""
+    import numpy
+
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import config_fingerprint
+
+    cfg = cfg or ExperimentConfig()
+    points = [bench_point(k, s, n, cfg, repeats=repeats)
+              for k in kernels for s in strategies for n in sizes]
+    return {
+        "v": _SCHEMA_VERSION,
+        "fingerprint": config_fingerprint(cfg),
+        "repeats": repeats,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "machine": platform.machine(),
+        },
+        "points": points,
+    }
+
+
+def write_bench(report: dict, path) -> pathlib.Path:
+    """Write a bench report as stable, diff-friendly JSON."""
+    out = pathlib.Path(path)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="Time trace generation, cache simulation, and "
+                    "end-to-end points; write BENCH_sweep.json.")
+    p.add_argument("--kernel", action="append", metavar="NAME",
+                   help=f"kernel(s) to bench (repeatable; default "
+                        f"{', '.join(DEFAULT_KERNELS)})")
+    p.add_argument("--strategy", action="append", metavar="NAME",
+                   help=f"strategy(ies) to bench (repeatable; default "
+                        f"{', '.join(DEFAULT_STRATEGIES)})")
+    p.add_argument("--n", type=int, action="append", metavar="N",
+                   help="problem size(s) to bench (repeatable; default 96)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="best-of repeats per timing (default 3)")
+    p.add_argument("--out", metavar="PATH", default="BENCH_sweep.json",
+                   help="output path (default BENCH_sweep.json)")
+    args = p.parse_args(argv)
+    if args.repeats < 1:
+        p.error(f"--repeats must be >= 1, got {args.repeats}")
+
+    report = bench_sweep(kernels=tuple(args.kernel or DEFAULT_KERNELS),
+                         strategies=tuple(args.strategy or DEFAULT_STRATEGIES),
+                         sizes=tuple(args.n or (96,)),
+                         repeats=args.repeats)
+    out = write_bench(report, args.out)
+    for pt in report["points"]:
+        print(f"{pt['kernel']:8s} {pt['strategy']:8s} N={pt['n']:<4d} "
+              f"trace {pt['trace_seconds']:.3f}s  "
+              f"L1 {pt['l1_seconds']:.3f}s  "
+              f"L1+L2 {pt['l2_seconds']:.3f}s  "
+              f"end-to-end {pt['end_to_end_seconds']:.3f}s  "
+              f"({pt['addresses_per_second']:.2e} addr/s)")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

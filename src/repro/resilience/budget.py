@@ -14,7 +14,8 @@ A :class:`PointBudget` bounds what one experiment point may cost:
 
 Budget exhaustion is deliberately *not* retryable: re-running the same
 exact simulation would exceed the same budget, so callers degrade to
-the analytic miss model instead (see ``run_point_resilient``).
+the analytic miss model instead (see
+``run_point(..., policy=PointPolicy(budget=...))``).
 """
 
 from __future__ import annotations

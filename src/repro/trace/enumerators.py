@@ -6,20 +6,25 @@ arrays — one chunk of iterations in exact program order. Coordinates are
 interior ``2..N-1``.
 
 Chunking strategy: chunks follow natural schedule boundaries (a K-plane
-for untiled sweeps, a (JJ, II) tile slab for tiled ones) so that memory
-stays bounded while chunks remain large enough to amortize numpy call
-overhead.
+for untiled sweeps, a (JJ, II) tile slab for tiled ones) so that chunks
+remain large enough to amortize numpy call overhead. Natural boundaries
+alone do **not** bound memory — a tiled slab spans every K plane and an
+untiled plane grows as N^2 — so consumers that need O(chunk) peak
+memory re-slice through :func:`bounded_chunks` (the address generator,
+:func:`repro.trace.generator.trace_chunks`, does this by default).
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro.errors import TraceError
+from repro.obs import metrics
 
 __all__ = [
+    "bounded_chunks",
     "untiled_3d",
     "tiled_3d",
     "tiled_3loop",
@@ -29,6 +34,31 @@ __all__ = [
 ]
 
 Chunk = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def bounded_chunks(chunks: Iterable[Chunk],
+                   max_iterations: int) -> Iterator[Chunk]:
+    """Re-slice iteration chunks so none exceeds ``max_iterations``.
+
+    Execution order is preserved exactly: an oversized ``(I, J, K)``
+    chunk is yielded as consecutive row slices (numpy views, no copy),
+    so downstream address generation and cache simulation see the same
+    reference string while peak memory stays O(``max_iterations``)
+    instead of O(tile slab). Undersized chunks pass through untouched.
+    """
+    if max_iterations < 1:
+        raise TraceError(
+            f"max_iterations must be positive, got {max_iterations}")
+    for i, j, k in chunks:
+        n = i.size
+        if n <= max_iterations:
+            yield i, j, k
+            continue
+        metrics.inc("repro.trace.chunk_splits",
+                    -(-n // max_iterations) - 1)
+        for lo in range(0, n, max_iterations):
+            hi = lo + max_iterations
+            yield i[lo:hi], j[lo:hi], k[lo:hi]
 
 
 def _plane(n: int) -> tuple[np.ndarray, np.ndarray]:

@@ -127,8 +127,31 @@ class PadResult:
 class SelectionResult:
     """Uniform result of any tile-selection strategy.
 
-    ``tile`` may be ``None`` for strategies that decline to tile (e.g.
-    GcdPadNT pads without tiling, Orig does nothing).
+    Every strategy reachable through
+    :func:`repro.core.selector.select` — the paper's transformations
+    and the related-work baselines alike — honours this field contract
+    (``select`` normalizes and enforces it; see
+    ``tests/test_selector_contract.py``):
+
+    ==============  =====================================================
+    field           contract
+    ==============  =====================================================
+    ``strategy``    the **registry** name the strategy was invoked
+                    under (``STRATEGIES`` key), never an internal alias
+    ``tile``        ``TileSize`` (both dims >= 1, neither exceeding the
+                    interior iteration span) when the strategy tiles;
+                    ``None`` when it declines to (Orig, GcdPadNT, or a
+                    degenerate geometry)
+    ``di_p``        padded I extent; always ``>= di`` (padding never
+                    shrinks an array)
+    ``dj_p``        padded J extent; always ``>= dj``
+    ``cost``        the Section 2.3 cost-per-iteration estimate;
+                    **finite iff tiled** — untiled results carry
+                    ``inf``, tiled results never do
+    ``array_tile``  the untrimmed data-space tile when the strategy
+                    derived one (Tile, Euc3D, LRW, ECS, WolfLam3);
+                    ``None`` for padding-first strategies
+    ==============  =====================================================
     """
 
     strategy: str

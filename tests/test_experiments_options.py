@@ -1,0 +1,219 @@
+"""Tests of the unified sweep/point option API and its deprecation shims.
+
+Covers the :class:`SweepOptions` / :class:`PointPolicy` contracts
+(frozen, validated at construction, correct ``plain`` fast-path
+detection), the keyword-merging rules, and — the compatibility
+promise — that every deprecated entry point still returns exactly what
+its replacement returns while warning exactly once per call.
+"""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.figures import figure_series
+from repro.experiments.options import (
+    PointPolicy,
+    SweepOptions,
+    merge_deprecated_kwargs,
+)
+from repro.experiments.runner import (
+    run_point,
+    run_point_analytic,
+    run_point_resilient,
+    sweep,
+)
+from repro.experiments.table3 import table3
+from repro.resilience import PointBudget
+
+
+def one_warning(record, needle):
+    assert len(record) == 1
+    w = record[0]
+    assert issubclass(w.category, DeprecationWarning)
+    assert needle in str(w.message)
+    return w
+
+
+class TestSweepOptions:
+    def test_frozen_and_hashable(self):
+        opts = SweepOptions(parallel=2)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            opts.parallel = 4
+        assert hash(opts) == hash(SweepOptions(parallel=2))
+
+    @pytest.mark.parametrize("bad", [
+        dict(parallel=0), dict(parallel=-3),
+        dict(point_timeout=0), dict(point_timeout=-1.0),
+        dict(chunk_size=-1),
+    ])
+    def test_bad_values_fail_at_construction(self, bad):
+        with pytest.raises(ConfigurationError):
+            SweepOptions(**bad)
+
+    def test_plain_detection(self):
+        assert SweepOptions().plain
+        assert SweepOptions(parallel=8).plain  # parallelism only batches
+        assert not SweepOptions(budget=PointBudget()).plain
+        assert not SweepOptions(point_cache="/tmp/c").plain
+        assert not SweepOptions(chunk_size=0).plain
+
+    def test_point_policy_projection(self):
+        opts = SweepOptions(budget=PointBudget(max_refs=10), chunk_size=64)
+        pol = opts.point_policy(journal="J", store="S")
+        assert pol == PointPolicy(budget=opts.budget, journal="J",
+                                  store="S", chunk_size=64)
+
+
+class TestPointPolicy:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PointPolicy().analytic = True
+
+    def test_plain_detection(self):
+        assert PointPolicy().plain
+        assert not PointPolicy(analytic=True).plain
+        assert not PointPolicy(budget=PointBudget()).plain
+        assert not PointPolicy(chunk_size=0).plain
+
+    def test_analytic_excludes_simulation_knobs(self):
+        with pytest.raises(ConfigurationError, match="analytic"):
+            PointPolicy(analytic=True, budget=PointBudget())
+        with pytest.raises(ConfigurationError, match="analytic"):
+            PointPolicy(analytic=True, chunk_size=64)
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ConfigurationError, match="chunk_size"):
+            PointPolicy(chunk_size=-5)
+
+
+class TestMergeDeprecatedKwargs:
+    def test_no_kwargs_passes_options_through(self):
+        opts = SweepOptions(parallel=2)
+        assert merge_deprecated_kwargs("sweep", opts, {}) is opts
+        assert merge_deprecated_kwargs("sweep", None, {}) is None
+
+    def test_legacy_kwargs_warn_once_and_merge(self):
+        with pytest.warns(DeprecationWarning, match="options=SweepOptions"
+                          ) as rec:
+            merged = merge_deprecated_kwargs(
+                "sweep", None, {"checkpoint": "c.jsonl", "parallel": 4})
+        assert len(rec) == 1
+        assert merged == SweepOptions(checkpoint="c.jsonl", parallel=4)
+
+    def test_legacy_none_values_mean_defaults(self):
+        # Old call sites passed e.g. budget=None explicitly; that must
+        # merge to the field default, not break validation.
+        with pytest.warns(DeprecationWarning):
+            merged = merge_deprecated_kwargs(
+                "sweep", None, {"budget": None, "parallel": None})
+        assert merged == SweepOptions()
+
+    def test_unknown_kwarg_is_a_typeerror(self):
+        with pytest.raises(TypeError, match="chunk_sizes"):
+            merge_deprecated_kwargs("sweep", None, {"chunk_sizes": 1})
+
+    def test_both_forms_rejected(self):
+        with pytest.raises(ConfigurationError, match="both options="):
+            merge_deprecated_kwargs("sweep", SweepOptions(),
+                                    {"parallel": 2})
+
+    def test_bad_legacy_value_still_validated(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError, match="parallel"):
+                merge_deprecated_kwargs("sweep", None, {"parallel": 0})
+
+
+class TestShimEquivalence:
+    def test_run_point_analytic_shim(self, tiny_config):
+        with pytest.warns(DeprecationWarning,
+                          match="run_point_analytic") as rec:
+            old = run_point_analytic("JACOBI", "GcdPad", 40, tiny_config)
+        one_warning(rec, "PointPolicy(analytic=True)")
+        assert old == run_point("JACOBI", "GcdPad", 40, tiny_config,
+                                policy=PointPolicy(analytic=True))
+        assert old.degraded
+
+    def test_run_point_resilient_shim(self, tiny_config):
+        budget = PointBudget(max_refs=10)
+        with pytest.warns(DeprecationWarning,
+                          match="run_point_resilient") as rec:
+            old = run_point_resilient("JACOBI", "Orig", 40, tiny_config,
+                                      budget=budget)
+        one_warning(rec, "PointPolicy")
+        assert old == run_point("JACOBI", "Orig", 40, tiny_config,
+                                policy=PointPolicy(budget=budget))
+
+    def test_run_point_resilient_default_still_resilient(self, tiny_config):
+        # The legacy no-budget call always meant "default retry/degrade
+        # bounds", never the memoized path; the shim must preserve that.
+        from repro.resilience import faults
+        from repro.errors import RetryableError
+
+        inj = faults.FaultInjector(clock=faults.FakeClock())
+        inj.fail_on("simulate", 1, RetryableError("transient"))
+        with faults.inject(inj), pytest.warns(DeprecationWarning):
+            r = run_point_resilient("JACOBI", "Orig", 40, tiny_config)
+        assert not r.degraded
+        assert inj.calls("simulate") == 2
+
+    def test_sweep_legacy_kwargs(self, tmp_path, tiny_config):
+        ckpt = tmp_path / "c.jsonl"
+        with pytest.warns(DeprecationWarning, match=r"sweep\(") as rec:
+            old = sweep("JACOBI", ["Orig"], [40], tiny_config,
+                        checkpoint=ckpt)
+        assert len(rec) == 1
+        new = sweep("JACOBI", ["Orig"], [40], tiny_config,
+                    options=SweepOptions(checkpoint=ckpt))
+        assert old == new
+
+    def test_sweep_rejects_mixed_forms(self, tmp_path, tiny_config):
+        with pytest.raises(ConfigurationError, match="both options="):
+            sweep("JACOBI", ["Orig"], [40], tiny_config,
+                  options=SweepOptions(), parallel=2)
+
+    def test_sweep_rejects_unknown_kwargs(self, tiny_config):
+        with pytest.raises(TypeError, match="chunk"):
+            sweep("JACOBI", ["Orig"], [40], tiny_config, chunk=64)
+
+    def test_table3_legacy_kwargs(self, tmp_path, tiny_config):
+        ckpt = tmp_path / "t3.jsonl"
+        kwargs = dict(kernels=("JACOBI",), strategies=("GcdPad",),
+                      sizes=[40], cfg=tiny_config)
+        with pytest.warns(DeprecationWarning, match="table3"):
+            old = table3(checkpoint=ckpt, **kwargs)
+        new = table3(options=SweepOptions(checkpoint=ckpt), **kwargs)
+        assert old.summaries == new.summaries
+
+    def test_figure_series_legacy_kwargs(self, tmp_path, tiny_config):
+        with pytest.warns(DeprecationWarning, match="figure_series"):
+            old = figure_series("JACOBI", sizes=[40], cfg=tiny_config,
+                                checkpoint=tmp_path / "f.jsonl")
+        new = figure_series("JACOBI", sizes=[40], cfg=tiny_config,
+                            options=SweepOptions(
+                                checkpoint=tmp_path / "f.jsonl"))
+        assert old == new
+
+
+class TestOptionsThreadThrough:
+    def test_sweep_options_chunk_size_changes_nothing(self, tiny_config):
+        base = sweep("JACOBI", ["Orig"], [40], tiny_config)
+        alt = sweep("JACOBI", ["Orig"], [40], tiny_config,
+                    options=SweepOptions(chunk_size=128))
+        assert alt == base
+
+    def test_table3_shares_store_across_kernels(self, tmp_path,
+                                                tiny_config):
+        from repro.resilience import faults
+
+        opts = SweepOptions(point_cache=tmp_path / "c")
+        kwargs = dict(kernels=("JACOBI", "RESID"), strategies=("Orig",),
+                      sizes=[40], cfg=tiny_config)
+        first = table3(options=opts, **kwargs)
+        inj = faults.FaultInjector()
+        with faults.inject(inj):
+            second = table3(options=opts, **kwargs)
+        assert inj.calls("simulate") == 0
+        assert second.summaries == first.summaries

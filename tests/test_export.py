@@ -40,10 +40,11 @@ class TestCsv:
             read_points_csv(tmp_path / "nope.csv")
 
     def test_degraded_column_roundtrip(self, tiny_config, tmp_path):
-        from repro.experiments.runner import run_point_analytic
+        from repro.experiments.options import PointPolicy
 
         pts = [run_point("JACOBI", "Orig", 40, tiny_config),
-               run_point_analytic("JACOBI", "GcdPad", 40, tiny_config)]
+               run_point("JACOBI", "GcdPad", 40, tiny_config,
+                         policy=PointPolicy(analytic=True))]
         back = read_points_csv(write_points_csv(pts, tmp_path / "d.csv"))
         assert [r["degraded"] for r in back] == [False, True]
 

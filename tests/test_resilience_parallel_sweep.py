@@ -13,12 +13,12 @@ import json
 import pytest
 
 from repro.errors import CheckpointError, ConfigurationError
+from repro.experiments.options import PointPolicy, SweepOptions
 from repro.experiments.runner import (
     _check_payload,
     _point_to_payload,
     open_journal,
     run_point,
-    run_point_analytic,
     sweep,
 )
 from repro.obs import EventBus, MemorySink, events
@@ -40,7 +40,8 @@ def flat(res):
 class TestDifferential:
     def test_parallel_matches_serial(self, tiny_config):
         serial = sweep("JACOBI", STRATS, SIZES, tiny_config)
-        par = sweep("JACOBI", STRATS, SIZES, tiny_config, parallel=4)
+        par = sweep("JACOBI", STRATS, SIZES, tiny_config,
+                    options=SweepOptions(parallel=4))
         assert par == serial
 
     def test_randomized_grid_matches(self, rng, tiny_config):
@@ -48,7 +49,8 @@ class TestDifferential:
                                                   replace=False))
         for kernel in ("JACOBI", "RESID"):
             serial = sweep(kernel, STRATS, sizes, tiny_config)
-            par = sweep(kernel, STRATS, sizes, tiny_config, parallel=4)
+            par = sweep(kernel, STRATS, sizes, tiny_config,
+                        options=SweepOptions(parallel=4))
             assert par == serial, f"{kernel} parallel/serial divergence"
 
     def test_matches_under_injected_worker_kills(self, rng, monkeypatch,
@@ -59,7 +61,8 @@ class TestDifferential:
         victims = rng.choice(range(1, n_tasks + 1), size=2, replace=False)
         monkeypatch.setenv(faults.WORKER_FAULT_ENV,
                            ",".join(f"kill:{v}" for v in victims))
-        par = sweep("JACOBI", STRATS, SIZES, tiny_config, parallel=2)
+        par = sweep("JACOBI", STRATS, SIZES, tiny_config,
+                    options=SweepOptions(parallel=2))
         monkeypatch.delenv(faults.WORKER_FAULT_ENV)
         serial = sweep("JACOBI", STRATS, SIZES, tiny_config)
         assert par == serial
@@ -67,10 +70,11 @@ class TestDifferential:
     def test_parallel_journal_matches_serial_journal(self, monkeypatch,
                                                      tmp_path, tiny_config):
         sweep("JACOBI", STRATS, SIZES, tiny_config,
-              checkpoint=tmp_path / "serial.jsonl")
+              options=SweepOptions(checkpoint=tmp_path / "serial.jsonl"))
         monkeypatch.setenv(faults.WORKER_FAULT_ENV, "kill:1")
         sweep("JACOBI", STRATS, SIZES, tiny_config,
-              checkpoint=tmp_path / "par.jsonl", parallel=2)
+              options=SweepOptions(checkpoint=tmp_path / "par.jsonl",
+                                   parallel=2))
 
         def load(name):
             recs = [json.loads(ln) for ln
@@ -86,12 +90,13 @@ class TestQuarantine:
                                                   tiny_config):
         # Task 1 is ("Orig", 40) in submission order; kill every attempt.
         monkeypatch.setenv(faults.WORKER_FAULT_ENV, "kill:1:all")
-        res = sweep("JACOBI", STRATS, SIZES, tiny_config, parallel=2)
+        res = sweep("JACOBI", STRATS, SIZES, tiny_config,
+                    options=SweepOptions(parallel=2))
         assert len(flat(res)) == len(STRATS) * len(SIZES)  # full grid
         poisoned = res["Orig"][0]
         assert poisoned.degraded
-        assert poisoned == run_point_analytic("JACOBI", "Orig", SIZES[0],
-                                              tiny_config)
+        assert poisoned == run_point("JACOBI", "Orig", SIZES[0], tiny_config,
+                                     policy=PointPolicy(analytic=True))
         healthy = [p for p in flat(res) if p is not poisoned]
         assert not any(p.degraded for p in healthy)
 
@@ -99,16 +104,16 @@ class TestQuarantine:
                                             tiny_config):
         monkeypatch.setenv(faults.WORKER_FAULT_ENV, "kill:1:all")
         ckpt = tmp_path / "q.jsonl"
-        sweep("JACOBI", STRATS, SIZES, tiny_config, checkpoint=ckpt,
-              parallel=2)
+        sweep("JACOBI", STRATS, SIZES, tiny_config,
+              options=SweepOptions(checkpoint=ckpt, parallel=2))
         j = open_journal(ckpt, tiny_config)
         assert len(j) == len(STRATS) * len(SIZES)
         assert j.get(("JACOBI", "Orig", SIZES[0]))["degraded"] is True
 
     def test_hung_worker_reaped_and_retried(self, monkeypatch, tiny_config):
         monkeypatch.setenv(faults.WORKER_FAULT_ENV, "hang:2")
-        res = sweep("JACOBI", STRATS, [40], tiny_config, parallel=2,
-                    point_timeout=2.0)
+        res = sweep("JACOBI", STRATS, [40], tiny_config,
+                    options=SweepOptions(parallel=2, point_timeout=2.0))
         assert len(flat(res)) == 2
         assert not any(p.degraded for p in flat(res))
 
@@ -116,11 +121,12 @@ class TestQuarantine:
 class TestJournalInterop:
     def test_serial_journal_resumed_by_parallel(self, tmp_path, tiny_config):
         ckpt = tmp_path / "s.jsonl"
-        serial = sweep("JACOBI", STRATS, SIZES, tiny_config, checkpoint=ckpt)
+        serial = sweep("JACOBI", STRATS, SIZES, tiny_config,
+                       options=SweepOptions(checkpoint=ckpt))
         inj = faults.FaultInjector()
         with faults.inject(inj):
             par = sweep("JACOBI", STRATS, SIZES, tiny_config,
-                        checkpoint=ckpt, parallel=2)
+                        options=SweepOptions(checkpoint=ckpt, parallel=2))
         # Every point came from the journal: no worker ever spawned, so
         # the supervisor's in-process injector saw no simulate ticks.
         assert inj.calls("simulate") == 0
@@ -128,21 +134,22 @@ class TestJournalInterop:
 
     def test_parallel_journal_resumed_by_serial(self, tmp_path, tiny_config):
         ckpt = tmp_path / "p.jsonl"
-        par = sweep("JACOBI", STRATS, SIZES, tiny_config, checkpoint=ckpt,
-                    parallel=2)
+        par = sweep("JACOBI", STRATS, SIZES, tiny_config,
+                    options=SweepOptions(checkpoint=ckpt, parallel=2))
         inj = faults.FaultInjector()
         with faults.inject(inj):
             serial = sweep("JACOBI", STRATS, SIZES, tiny_config,
-                           checkpoint=ckpt)
+                           options=SweepOptions(checkpoint=ckpt))
         assert inj.calls("simulate") == 0
         assert serial == par
 
     def test_partial_serial_journal_finished_in_parallel(self, tmp_path,
                                                          tiny_config):
         ckpt = tmp_path / "half.jsonl"
-        sweep("JACOBI", ["Orig"], SIZES, tiny_config, checkpoint=ckpt)
-        res = sweep("JACOBI", STRATS, SIZES, tiny_config, checkpoint=ckpt,
-                    parallel=2)
+        sweep("JACOBI", ["Orig"], SIZES, tiny_config,
+              options=SweepOptions(checkpoint=ckpt))
+        res = sweep("JACOBI", STRATS, SIZES, tiny_config,
+                    options=SweepOptions(checkpoint=ckpt, parallel=2))
         assert len(flat(res)) == len(STRATS) * len(SIZES)
         assert res == sweep("JACOBI", STRATS, SIZES, tiny_config)
 
@@ -152,13 +159,16 @@ class TestJournalInterop:
         from repro.resilience import CheckpointWarning
 
         ckpt = tmp_path / "f.jsonl"
-        sweep("JACOBI", ["Orig"], [40], tiny_config, checkpoint=ckpt)
+        sweep("JACOBI", ["Orig"], [40], tiny_config,
+              options=SweepOptions(checkpoint=ckpt))
         other = ExperimentConfig(l1=tiny_l1, l2=tiny_l2, nk=5)
         with pytest.raises(CheckpointError, match="different configuration"):
-            sweep("JACOBI", ["Orig"], [40], other, checkpoint=ckpt)
+            sweep("JACOBI", ["Orig"], [40], other,
+                  options=SweepOptions(checkpoint=ckpt))
         with pytest.warns(CheckpointWarning, match="overridden"):
-            res = sweep("JACOBI", ["Orig"], [40], other, checkpoint=ckpt,
-                        resume_force=True)
+            res = sweep("JACOBI", ["Orig"], [40], other,
+                        options=SweepOptions(checkpoint=ckpt,
+                                             resume_force=True))
         # The adopted journal's point is served as-is (nk still the
         # original config's) — that is what "trusted as-is" means.
         assert res["Orig"][0].nk == tiny_config.nk
@@ -216,8 +226,8 @@ class TestCheckPayloadRegressions:
         # with a valid (quarantined analytic) record, never the garbage.
         monkeypatch.setenv(faults.WORKER_FAULT_ENV, "corrupt:1:all")
         ckpt = tmp_path / "c.jsonl"
-        res = sweep("JACOBI", ["Orig"], [40], tiny_config, checkpoint=ckpt,
-                    parallel=2)
+        res = sweep("JACOBI", ["Orig"], [40], tiny_config,
+                    options=SweepOptions(checkpoint=ckpt, parallel=2))
         assert res["Orig"][0].degraded
         for line in ckpt.read_text().splitlines():
             rec = json.loads(line)
@@ -232,7 +242,8 @@ class TestObservability:
         monkeypatch.setenv(faults.WORKER_FAULT_ENV, "kill:1:all, kill:2")
         sink = MemorySink()
         with events.use(EventBus(sink)):
-            sweep("JACOBI", STRATS, [40], tiny_config, parallel=2)
+            sweep("JACOBI", STRATS, [40], tiny_config,
+                  options=SweepOptions(parallel=2))
         s = summarize(sink.records)
         assert s.points == 2
         assert s.degraded == 1
@@ -245,7 +256,7 @@ class TestObservability:
         sink = MemorySink()
         with events.use(EventBus(sink)):
             sweep("JACOBI", STRATS, [40], tiny_config,
-                  budget=None, parallel=1)
+                  options=SweepOptions(parallel=1))
         s = summarize(sink.records)
         assert s.worker_attempts == 0 and s.quarantined == 0
 
@@ -253,18 +264,21 @@ class TestObservability:
 class TestValidationAndFallbacks:
     def test_bad_parallel_rejected(self, tiny_config):
         with pytest.raises(ConfigurationError, match="parallel"):
-            sweep("JACOBI", ["Orig"], [40], tiny_config, parallel=0)
+            sweep("JACOBI", ["Orig"], [40], tiny_config,
+                  options=SweepOptions(parallel=0))
 
     def test_bad_point_timeout_rejected(self, tiny_config):
         with pytest.raises(ConfigurationError, match="point_timeout"):
-            sweep("JACOBI", ["Orig"], [40], tiny_config, point_timeout=-1)
+            sweep("JACOBI", ["Orig"], [40], tiny_config,
+                  options=SweepOptions(point_timeout=-1))
 
     def test_unavailable_pool_degrades_to_serial(self, monkeypatch,
                                                  tiny_config):
         from repro.resilience import pool
 
         monkeypatch.setattr(pool, "available", lambda: False)
-        res = sweep("JACOBI", STRATS, [40], tiny_config, parallel=4)
+        res = sweep("JACOBI", STRATS, [40], tiny_config,
+                    options=SweepOptions(parallel=4))
         assert res == sweep("JACOBI", STRATS, [40], tiny_config)
 
     def test_serial_point_timeout_acts_as_wall_budget(self, tiny_config):
@@ -272,5 +286,5 @@ class TestValidationAndFallbacks:
         inj = faults.FaultInjector(clock=clock).advance_on("chunk", 2, 1e6)
         with faults.inject(inj):
             res = sweep("JACOBI", ["Orig"], [40], tiny_config,
-                        parallel=1, point_timeout=30.0)
+                        options=SweepOptions(parallel=1, point_timeout=30.0))
         assert res["Orig"][0].degraded

@@ -1,0 +1,118 @@
+"""Contract tests: every registered strategy returns a normalized result.
+
+:func:`repro.core.selector.select` promises the field contract
+documented on :class:`repro.types.SelectionResult` — registry name,
+``cost`` finite iff tiled, tile within the interior iteration span,
+padding never shrinking — for **every** entry in ``STRATEGIES``, over a
+broad range of geometries. Downstream consumers (schedule choice, CSV
+export, report sorting by cost) are written against that contract, not
+against individual strategies.
+"""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.core.selector import STRATEGIES, _normalize, select
+from repro.errors import ConfigurationError
+from repro.types import SelectionResult, TileSize
+
+# Geometries spanning tiny interiors, paper-scale arrays, pathological
+# skew, and cache sizes from 2KB to 2MB (in doubles).
+GRID = [
+    (256, 40, 40, 2, 2, 3),
+    (256, 10, 200, 2, 2, 3),
+    (2048, 103, 103, 2, 2, 3),
+    (8192, 300, 300, 2, 2, 3),
+    (8192, 300, 300, 4, 4, 5),
+    (262144, 700, 700, 2, 2, 3),
+    (256, 5, 5, 2, 2, 3),
+]
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+@pytest.mark.parametrize("cs,di,dj,mi,mj,atd", GRID)
+def test_every_strategy_honours_the_contract(strategy, cs, di, dj, mi, mj,
+                                             atd):
+    r = select(strategy, cs, di, dj, mi=mi, mj=mj, atd=atd)
+    # Registry name, never an internal alias.
+    assert r.strategy == strategy
+    # Padding never shrinks.
+    assert r.di_p >= di and r.dj_p >= dj
+    # Cost finite iff tiled.
+    if r.tile is None:
+        assert r.cost == math.inf
+    else:
+        assert math.isfinite(r.cost) and r.cost > 0
+        # Tile within the interior iteration span.
+        assert 1 <= r.tile.ti <= max(1, di - mi)
+        assert 1 <= r.tile.tj <= max(1, dj - mj)
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_deterministic(strategy):
+    a = select(strategy, 2048, 103, 103)
+    assert select(strategy, 2048, 103, 103) == a
+
+
+class TestNormalizeLayer:
+    """Unit tests of `_normalize` on synthetic drifting results."""
+
+    def test_registry_name_wins(self):
+        r = SelectionResult(strategy="internal-alias", tile=None,
+                            di_p=40, dj_p=40)
+        assert _normalize("Orig", r, 40, 40, 2, 2).strategy == "Orig"
+
+    def test_untiled_cost_forced_to_inf(self):
+        r = SelectionResult(strategy="Orig", tile=None, di_p=40, dj_p=40,
+                            cost=1.25)
+        assert _normalize("Orig", r, 40, 40, 2, 2).cost == math.inf
+
+    def test_oversized_tile_clamped_and_cost_recomputed(self):
+        from repro.core.cost import cost
+
+        r = SelectionResult(strategy="Tile", tile=TileSize(500, 7),
+                            di_p=40, dj_p=40, cost=0.1)
+        out = _normalize("Tile", r, 40, 40, 2, 2)
+        assert out.tile == TileSize(38, 7)
+        assert out.cost == cost(38, 7, 2, 2)
+
+    def test_tiled_nonfinite_cost_recomputed(self):
+        from repro.core.cost import cost
+
+        r = SelectionResult(strategy="Tile", tile=TileSize(8, 8),
+                            di_p=40, dj_p=40)
+        assert _normalize("Tile", r, 40, 40, 2, 2).cost == cost(8, 8, 2, 2)
+
+    def test_shrinking_pad_rejected(self):
+        r = SelectionResult(strategy="Pad", tile=None, di_p=39, dj_p=40)
+        with pytest.raises(ConfigurationError, match="shrink"):
+            _normalize("Pad", r, 40, 40, 2, 2)
+
+    def test_conforming_result_returned_unchanged(self):
+        r = select("GcdPad", 2048, 103, 103)
+        assert _normalize("GcdPad", r, 103, 103, 2, 2) is r
+
+    def test_normalization_is_idempotent(self):
+        r = SelectionResult(strategy="x", tile=TileSize(500, 500),
+                            di_p=40, dj_p=40, cost=math.inf)
+        once = _normalize("Tile", r, 40, 40, 2, 2)
+        assert _normalize("Tile", once, 40, 40, 2, 2) is once
+
+
+def test_unknown_strategy_lists_valid_names():
+    with pytest.raises(ConfigurationError, match="Orig"):
+        select("NoSuch", 2048, 103, 103)
+
+
+def test_array_tile_presence_matches_docs():
+    # The docstring table says which strategies derive a data-space
+    # tile; keep the docs honest.
+    derives = {"Tile", "Euc3D", "LRW", "ECS", "WolfLam3"}
+    for name in sorted(STRATEGIES):
+        r = select(name, 8192, 300, 300)
+        if name in derives:
+            assert r.array_tile is not None, name
+        else:
+            assert r.array_tile is None, name
