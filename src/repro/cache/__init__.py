@@ -14,6 +14,11 @@ provides that simulator:
   small studies);
 * :class:`~repro.cache.hierarchy.CacheHierarchy` — multi-level
   composition with write-around / write-allocate policies;
+* :mod:`~repro.cache.partition` / :class:`~repro.cache.engine.HierarchyEngine`
+  — the O(n + num_sets) counting-sort partition and the batched
+  single-pass engine behind ``CacheHierarchy.run`` (bit-identical
+  statistics, one partition per batch instead of one sort per chunk
+  per level);
 * :class:`~repro.cache.classify.MissClassifier` — shadow
   fully-associative simulation splitting misses into cold / conflict /
   capacity (the paper's Section 2-3 story, made measurable);
@@ -24,14 +29,18 @@ from repro.cache.params import CacheParams, ULTRASPARC2_L1, ULTRASPARC2_L2
 from repro.cache.base import CacheStats
 from repro.cache.classify import MISS_CLASSES, MissClassifier
 from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.engine import BATCH_TARGET, HierarchyEngine
+from repro.cache.partition import counting_available, default_strategy, partition
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.cache.two_way import TwoWayCache
 from repro.cache.tlb import ULTRASPARC2_DTLB, build_tlb, tlb_params
 from repro.cache.hierarchy import CacheHierarchy, HierarchyStats, WritePolicy
 
 __all__ = [
+    "BATCH_TARGET",
     "CacheParams",
     "CacheStats",
+    "HierarchyEngine",
     "MISS_CLASSES",
     "MissClassifier",
     "DirectMappedCache",
@@ -40,6 +49,9 @@ __all__ = [
     "CacheHierarchy",
     "HierarchyStats",
     "WritePolicy",
+    "counting_available",
+    "default_strategy",
+    "partition",
     "ULTRASPARC2_L1",
     "ULTRASPARC2_L2",
     "ULTRASPARC2_DTLB",

@@ -26,6 +26,17 @@ The shadow simulation is a per-access Python loop (fully associative
 LRU does not vectorize the way direct-mapped simulation does), so
 classification is opt-in — the experiment runner attaches classifiers
 only when metrics collection is enabled (``--metrics``).
+
+Attaching a classifier has a second cost beyond the Python loop: it
+forces :meth:`CacheHierarchy.run
+<repro.cache.hierarchy.CacheHierarchy.run>` onto the legacy per-chunk
+path (``repro.cache.engine_runs{mode=legacy}``) because the batched
+:class:`~repro.cache.engine.HierarchyEngine` reorders accesses within
+a window and classifiers must observe them in program order. It is
+likewise incompatible with K-plane extrapolation
+(:mod:`repro.experiments.extrapolate`) — skipped planes are never
+simulated, so their misses cannot be classified; the runner gives
+``--metrics`` precedence and disables extrapolation for such points.
 """
 
 from __future__ import annotations

@@ -1,0 +1,175 @@
+"""Batched single-pass hierarchy engine.
+
+:meth:`CacheHierarchy.run <repro.cache.hierarchy.CacheHierarchy.run>`
+drives this engine whenever no miss classifiers are attached (3C
+classification needs per-access masks the batched form never builds).
+It produces **bit-for-bit** the same :class:`HierarchyStats` as the
+per-chunk ``access()`` loop — the differential tests in
+``tests/test_cache_engine.py`` hold it to that — by exploiting a
+property both paths share: direct-mapped/LRU simulation with carried
+state is *split-invariant*, so the stream may be re-batched freely
+without changing a single miss.
+
+**Windowed batching.** Every level consumes its input stream in
+windows of about :data:`BATCH_TARGET` addresses. Chunks smaller than a
+window (tiled schedules emit dozens of tiny per-tile chunks) are
+buffered and concatenated so the fixed per-call numpy cost is paid
+once per window; chunks larger than a window are *split*, because the
+counting partition's scatter is 4-6x faster when its working set stays
+cache-resident — a whole-trace sort would stream multi-MB temporaries
+through memory for no algorithmic gain.
+
+**Per-level demand buffering.** A level's demand stream (the misses it
+forwards) is buffered the same way, so L2 is also simulated in
+full-size windows instead of one small call per L1 window. Levels are
+decoupled by their carried state: only the order of each level's own
+input matters, and buffering preserves it.
+
+**One partition serving two levels.** When the hierarchy is exactly
+two direct-mapped levels with equal line size and ``S1 <= S2`` sets,
+L1's set index is the low bits of L2's: ``set1 = set2 & (S1 - 1)``.
+The engine then partitions each window once by L1 set, simulates L1,
+and extracts L2's demand *in sorted space* (``l_sorted[miss]``) —
+grouped by ``set1``, program-ordered within each group. Because every
+L2 set's accesses fall inside a single ``set1`` group, a stable
+partition of that demand by ``set2`` still yields per-L2-set program
+order, so L2 is simulated exactly without ever rebuilding the demand
+stream's global program order. (Concatenating such per-window demand
+segments preserves the property: within a window per-set2 order is
+program order, and windows arrive in program order.) For any other
+geometry (the paper's 32B-L1/64B-L2 default included) the engine falls
+back to one partition per level, which is still strictly cheaper than
+the legacy path thanks to windowing and the counting partition
+(:mod:`repro.cache.partition`).
+
+The engine is created per ``run()`` and owns no cache state — tags and
+statistics live in the level simulators exactly as before, so carried
+state still flows across ``run()`` calls and mixed ``run()``/
+``access()`` usage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.partition import partition
+from repro.obs import metrics
+
+__all__ = ["HierarchyEngine", "BATCH_TARGET"]
+
+#: Target addresses per simulated window (128 KB of int64): large
+#: enough to amortize numpy call overhead, small enough that the
+#: partition scatter and segment scans stay cache-resident.
+BATCH_TARGET = 1 << 14
+
+
+class HierarchyEngine:
+    """Buffers cacheable addresses and simulates them level by level.
+
+    Parameters
+    ----------
+    levels:
+        The hierarchy's live level simulators (state + stats holders).
+    params:
+        Matching :class:`~repro.cache.params.CacheParams` per level.
+    strategy:
+        Partition strategy override forwarded to
+        :func:`repro.cache.partition.partition` (tests force
+        ``"argsort"`` to diff the two paths); ``None`` = automatic.
+    """
+
+    def __init__(self, levels, params, strategy: str | None = None):
+        self._levels = list(levels)
+        self._params = list(params)
+        self._strategy = strategy
+        self._shifts = [int(p.line_bytes).bit_length() - 1 for p in params]
+        self._nsets = [p.num_sets for p in params]
+        self._nlev = len(self._levels)
+        self._bufs: list[list[np.ndarray]] = [[] for _ in levels]
+        self._pending = [0] * self._nlev
+        self._shared = (
+            self._nlev == 2
+            and isinstance(self._levels[0], DirectMappedCache)
+            and isinstance(self._levels[1], DirectMappedCache)
+            and self._shifts[0] == self._shifts[1]
+            and self._nsets[0] <= self._nsets[1])
+
+    @property
+    def mode(self) -> str:
+        """``"shared"`` (one partition feeds both levels) or ``"per_level"``."""
+        return "shared" if self._shared else "per_level"
+
+    # ------------------------------------------------------------------
+    def feed(self, byte_addrs: np.ndarray) -> None:
+        """Buffer one cacheable (already write-filtered) address array."""
+        self._feed_level(0, byte_addrs)
+
+    def flush(self) -> None:
+        """Simulate everything buffered so far (idempotent when empty)."""
+        for i in range(self._nlev):
+            # Flushing level i feeds level i+1's buffer, which the next
+            # iteration drains — nearest level first, by construction.
+            self._flush_level(i)
+
+    # ------------------------------------------------------------------
+    def _feed_level(self, i: int, stream: np.ndarray) -> None:
+        if stream.size == 0:
+            return
+        self._bufs[i].append(stream)
+        self._pending[i] += stream.size
+        if self._pending[i] >= BATCH_TARGET:
+            self._flush_level(i)
+
+    def _flush_level(self, i: int) -> None:
+        buf = self._bufs[i]
+        if not buf:
+            return
+        batch = buf[0] if len(buf) == 1 else np.concatenate(buf)
+        buf.clear()
+        self._pending[i] = 0
+        forward = i + 1 < self._nlev
+        for s in range(0, batch.size, BATCH_TARGET):
+            demand = self._process(i, batch[s:s + BATCH_TARGET])
+            if forward and demand is not None:
+                self._feed_level(i + 1, demand)
+
+    def _process(self, i: int, window: np.ndarray) -> np.ndarray | None:
+        """Simulate one window at level ``i``; return its demand stream.
+
+        In shared mode the demand (and level 1's input) are *line ids*
+        in sorted-space order; in per-level mode everything stays byte
+        addresses in program order.
+        """
+        lvl = self._levels[i]
+        last = i + 1 == self._nlev
+        if i == 0:
+            metrics.inc("repro.cache.batches")
+        if self._shared:
+            lines = window if i else window >> self._shifts[0]
+            order, bp = partition(lvl.set_index(lines), self._nsets[i],
+                                  self._strategy)
+            l_sorted = lines[order]
+            miss_sorted, nmiss = lvl.access_grouped(l_sorted, bp)
+            lvl.stats.accesses += window.size
+            lvl.stats.misses += nmiss
+            if last:
+                return None
+            metrics.inc("repro.cache.shared_sort_hits")
+            return l_sorted[miss_sorted]
+        if isinstance(lvl, DirectMappedCache):
+            lines = window >> self._shifts[i]
+            order, bp = partition(lvl.set_index(lines), self._nsets[i],
+                                  self._strategy)
+            miss_sorted, nmiss = lvl.access_grouped(lines[order], bp)
+            lvl.stats.accesses += window.size
+            lvl.stats.misses += nmiss
+            if last:
+                return None
+            # Demand stream back in program order: scatter the
+            # sorted-space miss positions through the permutation.
+            sel = np.zeros(window.size, dtype=bool)
+            sel[order[miss_sorted]] = True
+            return window[sel]
+        miss = lvl.access(window)   # non-DM levels keep their own path
+        return None if last else window[miss]

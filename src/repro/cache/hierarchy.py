@@ -37,9 +37,12 @@ import numpy as np
 
 from repro.cache.base import CacheLevel, CacheStats
 from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.engine import HierarchyEngine
 from repro.cache.params import CacheParams
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.errors import ConfigurationError
+from repro.obs import metrics
+from repro.trace.generator import TraceChunk
 
 __all__ = ["WritePolicy", "CacheHierarchy", "HierarchyStats"]
 
@@ -118,11 +121,24 @@ class CacheHierarchy:
         # mid-stream invalidate never loses counts (see module docstring).
         self._carry: list[CacheStats] = [CacheStats() for _ in levels]
         self._classifiers: list = [None] * len(levels)
+        #: Live batching engine while a run() is in flight (see run()).
+        self._engine: HierarchyEngine | None = None
         self.reads = 0
         self.writes = 0
 
+    def _sync_engine(self) -> None:
+        """Simulate anything the in-flight engine has buffered.
+
+        Called before any operation that reads or mutates level state
+        out-of-band (stats, invalidate, reset, a direct access), so
+        buffered accesses land *before* the operation in stream order.
+        """
+        if self._engine is not None:
+            self._engine.flush()
+
     def reset(self) -> None:
         """Zero everything: contents, per-level stats, carried stats."""
+        self._sync_engine()
         for lvl in self._levels:
             lvl.reset()
         self._carry = [CacheStats() for _ in self._levels]
@@ -141,6 +157,7 @@ class CacheHierarchy:
         model a mid-stream cold restart (context switch, flush).
         ``level=None`` invalidates every level.
         """
+        self._sync_engine()
         targets = range(len(self._levels)) if level is None else [level]
         for i in targets:
             lvl = self._levels[i]
@@ -168,7 +185,49 @@ class CacheHierarchy:
     def classifiers(self) -> list:
         return self._classifiers
 
+    @property
+    def levels(self) -> list[CacheLevel]:
+        """The live level simulators, nearest-first (shared objects)."""
+        return self._levels
+
+    def advance_stats(self, level_deltas: list[tuple[int, int]],
+                      reads: int = 0, writes: int = 0) -> None:
+        """Account statistics for accesses that were *not* simulated.
+
+        ``level_deltas`` holds one ``(accesses, misses)`` pair per
+        level. Used by the steady-state extrapolation path
+        (:mod:`repro.experiments.extrapolate`), which proves the counts
+        in closed form instead of replaying the stream.
+        """
+        if len(level_deltas) != len(self._levels):
+            raise ConfigurationError(
+                f"need one (accesses, misses) delta per level "
+                f"({len(self._levels)}), got {len(level_deltas)}")
+        for lvl, (da, dm) in zip(self._levels, level_deltas):
+            lvl.stats.accesses += int(da)
+            lvl.stats.misses += int(dm)
+        self.reads += int(reads)
+        self.writes += int(writes)
+
     # ------------------------------------------------------------------
+    def _cacheable(self, byte_addrs: np.ndarray,
+                   is_write: np.ndarray | None) -> np.ndarray:
+        """Count reads/writes and return the write-policy-filtered stream."""
+        byte_addrs = np.asarray(byte_addrs, dtype=np.int64)
+        n = byte_addrs.size
+        if is_write is None:
+            self.reads += n
+            return byte_addrs
+        is_write = np.asarray(is_write, dtype=bool)
+        if is_write.shape != byte_addrs.shape:
+            raise ConfigurationError("is_write mask shape mismatch")
+        nw = int(np.count_nonzero(is_write))
+        self.writes += nw
+        self.reads += n - nw
+        if self.write_policy is WritePolicy.WRITE_AROUND:
+            return byte_addrs[~is_write]
+        return byte_addrs
+
     def access(self, byte_addrs: np.ndarray,
                is_write: np.ndarray | None = None) -> np.ndarray:
         """Stream one chunk through every level.
@@ -178,22 +237,8 @@ class CacheHierarchy:
         accesses in program order (all accesses under write-allocate,
         reads only under write-around).
         """
-        byte_addrs = np.asarray(byte_addrs, dtype=np.int64)
-        n = byte_addrs.size
-        if is_write is None:
-            self.reads += n
-            cacheable = byte_addrs
-        else:
-            is_write = np.asarray(is_write, dtype=bool)
-            if is_write.shape != byte_addrs.shape:
-                raise ConfigurationError("is_write mask shape mismatch")
-            nw = int(np.count_nonzero(is_write))
-            self.writes += nw
-            self.reads += n - nw
-            if self.write_policy is WritePolicy.WRITE_AROUND:
-                cacheable = byte_addrs[~is_write]
-            else:
-                cacheable = byte_addrs
+        self._sync_engine()
+        cacheable = self._cacheable(byte_addrs, is_write)
 
         current = cacheable
         first_miss: np.ndarray | None = None
@@ -211,30 +256,78 @@ class CacheHierarchy:
         return first_miss
 
     # ------------------------------------------------------------------
-    def run(self, chunks, on_chunk=None) -> HierarchyStats:
+    def engine_eligible(self) -> bool:
+        """Whether run() may use the batched engine (no classifiers).
+
+        Miss classification consumes each level's per-access miss mask
+        in stream order; the batched engine never materializes those, so
+        classifier-carrying hierarchies keep the per-chunk path.
+        """
+        return all(c is None for c in self._classifiers)
+
+    def run(self, chunks, on_chunk=None, *,
+            partition_strategy: str | None = None) -> HierarchyStats:
         """Consume an iterable of chunks and return the statistics.
 
-        Each chunk is either a plain address array or an
-        ``(addresses, is_write)`` pair. The trace is consumed
-        incrementally — one chunk is simulated (and released) before
-        the next is generated, so peak memory is O(chunk), never
-        O(trace). ``on_chunk(addresses)`` (optional) fires before each
-        chunk is simulated; the experiment runner uses it for budget
-        deadlines and fault-injection ticks without breaking the
-        streaming structure.
+        Each chunk is a :class:`~repro.trace.generator.TraceChunk`, an
+        ``(addresses, is_write)`` pair, or a plain address array. The
+        trace is consumed incrementally, so peak memory stays O(chunk
+        buffer), never O(trace). ``on_chunk(addresses)`` (optional)
+        fires before each chunk is consumed; the experiment runner uses
+        it for budget deadlines and fault-injection ticks without
+        breaking the streaming structure.
+
+        Unless miss classifiers are attached, chunks are driven through
+        the batched :class:`~repro.cache.engine.HierarchyEngine`
+        (identical statistics, far fewer passes); ``partition_strategy``
+        forwards a :func:`repro.cache.partition.partition` override for
+        differential tests.
         """
-        for chunk in chunks:
-            if isinstance(chunk, tuple):
-                addrs, w = chunk
-            else:
-                addrs, w = chunk, None
-            if on_chunk is not None:
-                on_chunk(addrs)
-            self.access(addrs, w)
+        if not self.engine_eligible():
+            metrics.inc("repro.cache.engine_runs", mode="legacy")
+            for chunk in chunks:
+                if isinstance(chunk, TraceChunk):
+                    addrs, w = chunk.pair()
+                elif isinstance(chunk, tuple):
+                    addrs, w = chunk
+                else:
+                    addrs, w = chunk, None
+                if on_chunk is not None:
+                    on_chunk(addrs)
+                self.access(addrs, w)
+            return self.stats()
+
+        engine = HierarchyEngine(self._levels, self.params,
+                                 partition_strategy)
+        metrics.inc("repro.cache.engine_runs", mode=engine.mode)
+        around = self.write_policy is WritePolicy.WRITE_AROUND
+        self._engine = engine
+        try:
+            for chunk in chunks:
+                if isinstance(chunk, TraceChunk):
+                    if on_chunk is not None:
+                        on_chunk(chunk.addresses)
+                    self.reads += chunk.reads
+                    self.writes += chunk.writes
+                    engine.feed(chunk.read_addresses if around
+                                else chunk.addresses)
+                else:
+                    if isinstance(chunk, tuple):
+                        addrs, w = chunk
+                    else:
+                        addrs, w = chunk, None
+                    if on_chunk is not None:
+                        on_chunk(addrs)
+                    engine.feed(self._cacheable(addrs, w))
+            engine.flush()
+        finally:
+            self._engine = None
         return self.stats()
 
     def stats(self) -> HierarchyStats:
         """Totals for the whole stream, including invalidated epochs."""
+        if self._engine is not None:
+            self._engine.flush()
         merged = []
         for p, lvl, carry in zip(self.params, self._levels, self._carry):
             st = carry.copy()

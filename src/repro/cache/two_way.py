@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.cache.base import CacheStats
 from repro.cache.params import CacheParams
+from repro.cache.partition import partition
 from repro.errors import CacheGeometryError
 
 __all__ = ["TwoWayCache"]
@@ -74,15 +75,13 @@ class TwoWayCache:
         lines = byte_addrs >> self._line_shift
         sets = (lines & self._set_mask).astype(self._set_dtype)
 
-        order = np.argsort(sets, kind="stable")
+        order, bp = partition(sets, self.params.num_sets)
         s_sorted = sets[order]
         l_sorted = lines[order]
 
-        first = np.empty(n, dtype=bool)
-        first[0] = True
-        np.not_equal(s_sorted[1:], s_sorted[:-1], out=first[1:])
-        starts = np.flatnonzero(first)
-        seg_sets = s_sorted[starts].astype(np.int64)
+        # Segment starts/sets straight from the partition boundaries.
+        seg_sets = np.flatnonzero(bp[1:] > bp[:-1])
+        starts = bp[seg_sets]
 
         # Previous access's line, with carried MRU at segment starts.
         prev1 = np.empty(n, dtype=np.int64)

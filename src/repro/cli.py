@@ -11,6 +11,7 @@ Exposes the library's main entry points without writing any Python:
     python -m repro mgrid [--level 7]
     python -m repro section1
     python -m repro cache info --point-cache DIR
+    python -m repro bench compare OLD.json NEW.json
     python -m repro obs-report run.jsonl [--metrics metrics.json]
 
 ``--full`` switches to the paper's sweep density (equivalent to setting
@@ -32,7 +33,11 @@ repeated runs (and the parallel pool) skip anything any previous run
 already finished; ``repro cache info|clear --point-cache DIR`` inspects
 or empties it. ``--chunk-size N`` bounds the addresses materialized per
 trace chunk (0 = unbounded; results are bit-for-bit identical either
-way).
+way). ``--extrapolate`` enables exact steady-state K-plane
+extrapolation: untiled points stop simulating once their per-plane
+statistics provably repeat (shift-equivalent cache tags) and the rest
+is costed in closed form — identical miss counts, flagged per point;
+ineligible points fall back to full simulation.
 
 Observability (every command, flags go after the subcommand name):
 ``--log-json PATH`` records the run's structured event timeline as
@@ -126,6 +131,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="addresses per simulated trace chunk "
                              "(bounds memory; 0 = unbounded; default: "
                              "a ~1M-address bound)")
+        sp.add_argument("--extrapolate", action="store_true",
+                        help="exact steady-state K-plane mode: stop "
+                             "simulating a point once its per-plane "
+                             "statistics provably repeat and "
+                             "extrapolate the rest in closed form "
+                             "(identical results, recorded per point; "
+                             "points where the check never fires are "
+                             "simulated in full; incompatible with "
+                             "--metrics' miss classifiers, which then "
+                             "win)")
 
     sp = sub.add_parser("select", help="run one tile-selection strategy",
                         parents=[obsopts])
@@ -185,6 +200,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("section1", help="Section 1: capacity thresholds",
                         parents=[obsopts])
+
+    sp = sub.add_parser("bench",
+                        help="compare two BENCH_sweep.json reports",
+                        parents=[logopts])
+    sp.add_argument("action", choices=["compare"],
+                    help="compare: per-point speedup of NEW over OLD")
+    sp.add_argument("old", metavar="OLD.json",
+                    help="baseline bench report (e.g. the checked-in "
+                         "BENCH_sweep.json)")
+    sp.add_argument("new", metavar="NEW.json",
+                    help="fresh bench report to compare against OLD")
+    sp.add_argument("--force", action="store_true",
+                    help="compare even when the reports' config "
+                         "fingerprints differ (different workloads; "
+                         "speedups are then not meaningful)")
 
     sp = sub.add_parser("cache", help="inspect/empty a --point-cache store",
                         parents=[logopts])
@@ -290,7 +320,8 @@ def _sweep_options(args):
         point_timeout=getattr(args, "point_timeout", None),
         resume_force=getattr(args, "resume_force", False),
         point_cache=getattr(args, "point_cache", None) or None,
-        chunk_size=getattr(args, "chunk_size", None))
+        chunk_size=getattr(args, "chunk_size", None),
+        extrapolate=getattr(args, "extrapolate", False))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -358,13 +389,16 @@ def _dispatch(args) -> int:
         from repro.experiments.runner import open_store, run_point
 
         policy = None
-        if args.point_cache or args.chunk_size is not None:
+        if (args.point_cache or args.chunk_size is not None
+                or args.extrapolate):
             policy = PointPolicy(store=open_store(args.point_cache or None),
-                                 chunk_size=args.chunk_size)
+                                 chunk_size=args.chunk_size,
+                                 extrapolate=args.extrapolate)
         p = run_point(args.kernel, args.strategy, args.n, ExperimentConfig(),
                       policy=policy)
+        marker = " [extrapolated]" if p.extrapolated else ""
         print(f"{args.kernel} / {args.strategy} at N={args.n} "
-              f"(NK={p.nk}):")
+              f"(NK={p.nk}):{marker}")
         print(f"  tile        : {p.tile or '(untiled)'}  "
               f"dims {p.di_p} x {p.dj_p}")
         print(f"  L1 miss rate: {p.l1_rate:.2f}%")
@@ -413,6 +447,22 @@ def _dispatch(args) -> int:
         from repro.experiments.mgrid_app import format_mgrid_app, mgrid_app
 
         print(format_mgrid_app(mgrid_app(finest_level=args.level)))
+
+    elif args.command == "bench":
+        from repro.errors import ExperimentError
+        from repro.perf.bench import (
+            compare_benchmarks,
+            format_compare,
+            read_bench,
+        )
+
+        cmp = compare_benchmarks(read_bench(args.old), read_bench(args.new))
+        if not cmp["fingerprint_match"] and not args.force:
+            raise ExperimentError(
+                f"config fingerprints differ ({cmp['old_fingerprint']} vs "
+                f"{cmp['new_fingerprint']}): the reports benched "
+                f"different workloads; pass --force to compare anyway")
+        print(format_compare(cmp))
 
     elif args.command == "cache":
         from repro.experiments.runner import cache_info, clear_cache

@@ -27,7 +27,11 @@ __all__ = ["points_to_csv", "write_points_csv", "read_points_csv"]
 
 _COLUMNS = ("kernel", "strategy", "n", "nk", "l1_rate", "l2_rate",
             "l1_misses", "l2_misses", "refs", "mflops", "seconds",
-            "ti", "tj", "di_p", "dj_p", "degraded")
+            "ti", "tj", "di_p", "dj_p", "degraded", "extrapolated")
+
+#: Provenance flags: optional on read (older files predate them), and
+#: an absent column means False for every row.
+_FLAG_COLUMNS = ("degraded", "extrapolated")
 
 _INT_COLUMNS = ("n", "nk", "l1_misses", "l2_misses", "refs", "di_p", "dj_p")
 _FLOAT_COLUMNS = ("l1_rate", "l2_rate", "mflops", "seconds")
@@ -41,7 +45,7 @@ def _row(p: PointResult) -> list:
             p.l1_misses, p.l2_misses, p.refs,
             f"{p.mflops:.6f}", f"{p.seconds:.9f}",
             ti, tj, p.di_p, p.dj_p,
-            int(p.degraded)]
+            int(p.degraded), int(p.extrapolated)]
 
 
 def points_to_csv(points: Iterable[PointResult]) -> str:
@@ -74,8 +78,8 @@ def read_points_csv(path: str | pathlib.Path) -> list[dict]:
     """Read a CSV written by :func:`write_points_csv` back into dicts.
 
     Numeric columns are parsed; empty tile columns become ``None``;
-    ``degraded`` becomes a bool (files from before the column existed
-    read as ``False``). Malformed input raises
+    ``degraded``/``extrapolated`` become bools (files from before the
+    columns existed read as ``False``). Malformed input raises
     :class:`~repro.errors.ExperimentError` with the path and row.
     """
     path = pathlib.Path(path)
@@ -84,7 +88,7 @@ def read_points_csv(path: str | pathlib.Path) -> list[dict]:
     with path.open(newline="") as fh:
         reader = csv.DictReader(fh)
         header = reader.fieldnames or []
-        required = set(_COLUMNS) - {"degraded"}
+        required = set(_COLUMNS) - set(_FLAG_COLUMNS)
         missing = required - set(header)
         if missing:
             raise ExperimentError(
@@ -101,9 +105,10 @@ def read_points_csv(path: str | pathlib.Path) -> list[dict]:
                 for k in _TILE_COLUMNS:
                     raw = _cell(row, k, path, lineno)
                     parsed[k] = int(raw) if raw else None
-                raw = row.get("degraded", "")
-                parsed["degraded"] = (raw or "0").strip().lower() in (
-                    "1", "true", "yes")
+                for k in _FLAG_COLUMNS:
+                    raw = row.get(k, "")
+                    parsed[k] = (raw or "0").strip().lower() in (
+                        "1", "true", "yes")
             except ValueError as exc:
                 raise ExperimentError(
                     f"{path}: row {lineno} has a malformed value: {exc}"

@@ -62,6 +62,10 @@ class SweepOptions:
                         are reused across processes and across runs
     ``chunk_size``      addresses per simulated trace chunk (``None`` =
                         the generator default, ``0`` = unbounded)
+    ``extrapolate``     exact steady-state K-plane extrapolation
+                        (:mod:`repro.experiments.extrapolate`): stop
+                        simulating once plane statistics provably
+                        repeat; identical results, recorded per point
     ==================  ====================================================
     """
 
@@ -72,6 +76,7 @@ class SweepOptions:
     resume_force: bool = False
     point_cache: "str | os.PathLike | PointStore | None" = None
     chunk_size: int | None = None
+    extrapolate: bool = False
 
     def __post_init__(self) -> None:
         if self.parallel < 1:
@@ -84,9 +89,15 @@ class SweepOptions:
 
     @property
     def plain(self) -> bool:
-        """No per-point machinery: the memoized fast path applies."""
+        """No per-point machinery: the memoized fast path applies.
+
+        ``extrapolate`` routes around the memo too — its results carry
+        a provenance flag (``PointResult.extrapolated``) that a memo
+        shared with non-extrapolating callers would misreport.
+        """
         return (self.checkpoint is None and self.budget is None
-                and self.point_cache is None and self.chunk_size is None)
+                and self.point_cache is None and self.chunk_size is None
+                and not self.extrapolate)
 
     def point_policy(self, journal=None, store=None) -> "PointPolicy":
         """The per-point policy this sweep implies (serial path).
@@ -95,7 +106,8 @@ class SweepOptions:
         :attr:`checkpoint`/:attr:`point_cache` by the runner.
         """
         return PointPolicy(budget=self.budget, journal=journal,
-                           store=store, chunk_size=self.chunk_size)
+                           store=store, chunk_size=self.chunk_size,
+                           extrapolate=self.extrapolate)
 
 
 @dataclass(frozen=True)
@@ -114,6 +126,10 @@ class PointPolicy:
     ``chunk_size``  addresses per trace chunk (``None`` = default bound,
                     ``0`` = unbounded); affects memory/timing only — the
                     simulated statistics are bit-for-bit independent of it
+    ``extrapolate`` exact steady-state K-plane extrapolation: stop
+                    simulating once plane statistics provably repeat
+                    (identical results; ``PointResult.extrapolated``
+                    records whether it fired)
     ==============  ========================================================
 
     The default policy (all fields default) is the memoized exact fast
@@ -126,21 +142,23 @@ class PointPolicy:
     journal: "CheckpointJournal | None" = None
     store: "PointStore | None" = None
     chunk_size: int | None = None
+    extrapolate: bool = False
 
     def __post_init__(self) -> None:
         _check_chunk_size(self.chunk_size)
         if self.analytic and (self.budget is not None
-                              or self.chunk_size is not None):
+                              or self.chunk_size is not None
+                              or self.extrapolate):
             raise ConfigurationError(
-                "an analytic policy simulates nothing: budget/chunk_size "
-                "do not apply")
+                "an analytic policy simulates nothing: budget/chunk_size/"
+                "extrapolate do not apply")
 
     @property
     def plain(self) -> bool:
         """True when the memoized exact fast path may serve this point."""
         return (not self.analytic and self.budget is None
                 and self.journal is None and self.store is None
-                and self.chunk_size is None)
+                and self.chunk_size is None and not self.extrapolate)
 
 
 def _check_chunk_size(chunk_size: int | None) -> None:

@@ -117,6 +117,11 @@ class PointResult:
     #: True when the point came from the analytical miss model (budget
     #: exceeded / retries exhausted) rather than exact trace simulation.
     degraded: bool = False
+    #: True when steady-state K-plane extrapolation skipped at least
+    #: one plane (:mod:`repro.experiments.extrapolate`; the statistics
+    #: are still exact). False for full simulation, including
+    #: ``extrapolate=True`` points that degraded to full simulation.
+    extrapolated: bool = False
 
     @property
     def padded(self) -> bool:
@@ -173,12 +178,19 @@ def _simulate_exact(kernel_name: str, strategy: str, n: int,
                     cfg: ExperimentConfig,
                     budget: PointBudget | None = None,
                     chunk_size: int | None = None,
+                    extrapolate: bool = False,
                     clock=time.monotonic) -> PointResult:
     """One exact trace simulation, optionally under a budget's deadline.
 
     ``chunk_size`` bounds the addresses materialized per trace chunk
     (``None`` = the generator's default bound, ``0`` = unbounded); the
     simulated statistics are bit-for-bit identical for every value.
+    ``extrapolate`` enables the exact steady-state K-plane mode
+    (:mod:`repro.experiments.extrapolate`): identical statistics, but
+    planes proven shift-equivalent are costed in closed form instead of
+    simulated. Extrapolation disables the shadow miss classifiers
+    (skipped planes could not be classified), so ``--metrics`` points
+    keep full simulation even when both are requested.
     """
     faults.tick("simulate")
     kern = _kernel_cls(kernel_name)(n, cfg.nk, elem_bytes=cfg.elem_bytes)
@@ -190,7 +202,7 @@ def _simulate_exact(kernel_name: str, strategy: str, n: int,
                 if budget is not None and budget.bounded else None)
     hier = CacheHierarchy(cfg.levels)
     inter_pad = cfg.cs if cfg.inter_pad else None
-    if metrics.enabled():
+    if metrics.enabled() and not extrapolate:
         # Shadow-LRU miss classification is a Python-loop cost, so it is
         # attached only when a registry is collecting (``--metrics``).
         specs = kern.specs(sel.di_p, sel.dj_p, inter_pad_cache=inter_pad)
@@ -199,16 +211,40 @@ def _simulate_exact(kernel_name: str, strategy: str, n: int,
         hier.attach_classifiers(
             [MissClassifier(p, ranges) for p in cfg.levels])
 
+    def on_chunk(addrs) -> None:
+        faults.tick("chunk")
+        if deadline is not None:
+            deadline.check(len(addrs))
+
+    extrapolated = False
     t0 = time.perf_counter()
     with events.span("simulate", kernel=kernel_name, strategy=strategy,
                      n=n) as sp:
-        for addrs, w in kern.trace(sel, schedule, inter_pad_cache=inter_pad,
-                                   chunk_size=chunk_size):
-            faults.tick("chunk")
-            if deadline is not None:
-                deadline.check(len(addrs))
-            hier.access(addrs, w)
-        stats = hier.stats()
+        if extrapolate:
+            from repro.experiments.extrapolate import simulate_extrapolated
+
+            stats, xrep = simulate_extrapolated(
+                kern, sel, schedule, hier, inter_pad=inter_pad,
+                chunk_size=chunk_size, on_chunk=on_chunk)
+            extrapolated = xrep.fired
+            sp["extrapolated"] = xrep.fired
+            events.emit("extrapolate", kernel=kernel_name,
+                        strategy=strategy, n=n, fired=xrep.fired,
+                        period=xrep.period,
+                        planes_simulated=xrep.planes_simulated,
+                        planes_skipped=xrep.planes_skipped,
+                        reason=xrep.reason)
+            metrics.inc("repro.cache.extrapolation",
+                        outcome="fired" if xrep.fired else "fallback",
+                        reason=xrep.reason or "none")
+            if xrep.planes_skipped:
+                metrics.inc("repro.cache.extrapolation_planes_skipped",
+                            xrep.planes_skipped)
+        else:
+            stats = hier.run(
+                kern.trace(sel, schedule, inter_pad_cache=inter_pad,
+                           chunk_size=chunk_size, structured=True),
+                on_chunk=on_chunk)
         sp["refs"] = stats.demand_refs
     if metrics.enabled():
         _record_sim_metrics(hier, stats, time.perf_counter() - t0)
@@ -233,6 +269,7 @@ def _simulate_exact(kernel_name: str, strategy: str, n: int,
         refs=stats.demand_refs, mflops=perf.mflops, seconds=perf.seconds,
         tile=sel.tile.as_tuple() if sel.tile else None,
         di_p=sel.di_p, dj_p=sel.dj_p,
+        extrapolated=extrapolated,
     )
 
 
@@ -409,9 +446,12 @@ def _check_payload(key, payload) -> PointResult:
             f"not a mapping")
     expected = set(PointResult.__dataclass_fields__)
     got = set(payload)
-    if got != expected:
-        # asdict always emits every field, so any difference means a
-        # truncated or garbage-extended payload (defaults would other-
+    # 'extrapolated' is the one field older journals/stores legitimately
+    # lack (it was added after they were written); it defaults to False,
+    # which is also what those records meant.
+    if got - expected or (expected - got) - {"extrapolated"}:
+        # asdict always emits every field, so any other difference means
+        # a truncated or garbage-extended payload (defaults would other-
         # wise mask a missing 'degraded').
         missing, extra = sorted(expected - got), sorted(got - expected)
         raise CheckpointError(
@@ -437,6 +477,9 @@ def _check_payload(key, payload) -> PointResult:
                 f"{type(v).__name__}, expected an int")
     if not isinstance(result.degraded, bool):
         raise CheckpointError("point payload field 'degraded' must be a bool")
+    if not isinstance(result.extrapolated, bool):
+        raise CheckpointError(
+            "point payload field 'extrapolated' must be a bool")
     tile = result.tile
     if tile is not None and (len(tile) != 2 or not all(
             isinstance(t, int) and not isinstance(t, bool) for t in tile)):
@@ -467,7 +510,8 @@ def _store_lookup(store: PointStore, fingerprint_: str,
 def _compute_point(kernel: str, strategy: str, n: int,
                    cfg: ExperimentConfig,
                    budget: PointBudget | None,
-                   chunk_size: int | None = None) -> PointResult:
+                   chunk_size: int | None = None,
+                   extrapolate: bool = False) -> PointResult:
     """Exact simulation under ``budget``, degrading to the model.
 
     The shared core of serial resilient execution and the pool worker:
@@ -481,7 +525,7 @@ def _compute_point(kernel: str, strategy: str, n: int,
         result = run_with_retries(
             lambda: _simulate_exact(kernel, strategy, n, cfg,
                                     budget=budget, chunk_size=chunk_size,
-                                    clock=clock),
+                                    extrapolate=extrapolate, clock=clock),
             budget, sleep=faults.active_sleep())
         metrics.inc("repro.runner.points", mode="exact")
         return result
@@ -543,7 +587,8 @@ def run_point(kernel: str, strategy: str, n: int,
                 return result
 
         result = _compute_point(kernel, strategy, n, cfg,
-                                policy.budget, policy.chunk_size)
+                                policy.budget, policy.chunk_size,
+                                policy.extrapolate)
         sp["degraded"] = result.degraded
         payload = _point_to_payload(result)
         if policy.journal is not None:
@@ -597,9 +642,10 @@ def _pool_point_task(args) -> dict:
     supervisor round-trips the payload through :func:`_check_payload`
     before trusting it.
     """
-    kernel, strategy, n, cfg, budget, chunk_size = args
+    kernel, strategy, n, cfg, budget, chunk_size, extrapolate = args
     return _point_to_payload(
-        _compute_point(kernel, strategy, n, cfg, budget, chunk_size))
+        _compute_point(kernel, strategy, n, cfg, budget, chunk_size,
+                       extrapolate))
 
 
 def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
@@ -609,7 +655,8 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
                     budget: PointBudget | None,
                     workers: int,
                     point_timeout: float | None,
-                    chunk_size: int | None
+                    chunk_size: int | None,
+                    extrapolate: bool = False
                     ) -> dict[str, list[PointResult]]:
     """Run sweep points through the supervised process pool.
 
@@ -645,7 +692,7 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
                     journal.record(key, _point_to_payload(hit))
                 continue
             tasks.append((key, (kernel, strategy, n, cfg, budget,
-                                chunk_size)))
+                                chunk_size, extrapolate)))
 
     retry_policy = budget or PointBudget()
     policy = PoolPolicy(workers=workers, point_timeout=point_timeout,
@@ -653,7 +700,7 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
                         backoff_seconds=retry_policy.backoff_seconds)
 
     def fallback(key, args) -> dict:
-        k, s, n, cfg_, _, _ = args
+        k, s, n, cfg_ = args[:4]
         return _point_to_payload(_analytic_point(k, s, n, cfg_))
 
     def on_result(key, payload, quarantined) -> None:
@@ -735,14 +782,16 @@ def sweep(kernel: str, strategies: list[str], sizes: list[int],
                                    budget=options.budget,
                                    workers=options.parallel,
                                    point_timeout=options.point_timeout,
-                                   chunk_size=options.chunk_size)
+                                   chunk_size=options.chunk_size,
+                                   extrapolate=options.extrapolate)
         budget = options.budget
         if options.point_timeout is not None and budget is None:
             # Serial degradation of --point-timeout: no supervisor to
             # SIGKILL, so enforce it as an in-process wall budget.
             budget = PointBudget(wall_seconds=options.point_timeout)
         policy = PointPolicy(budget=budget, journal=journal, store=store,
-                             chunk_size=options.chunk_size)
+                             chunk_size=options.chunk_size,
+                             extrapolate=options.extrapolate)
         if policy.plain:
             return {s: [run_point(kernel, s, n, cfg) for n in sizes]
                     for s in strategies}

@@ -122,8 +122,9 @@ class StencilKernel(abc.ABC):
     def trace(self, selection: SelectionResult,
               schedule: Schedule | None = None,
               inter_pad_cache: int | None = None,
-              chunk_size: int | None = None
-              ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+              chunk_size: int | None = None,
+              structured: bool = False
+              ) -> Iterator:
         """Reference trace for a tile-selection result.
 
         The schedule defaults to TILED when the selection carries a tile
@@ -133,6 +134,9 @@ class StencilKernel(abc.ABC):
         per yielded chunk (``None`` = the generator's default bound,
         ``0`` = unbounded / monolithic per schedule chunk); it affects
         memory and batching only, never the reference stream itself.
+        With ``structured=True`` chunks are
+        :class:`~repro.trace.generator.TraceChunk` objects instead of
+        ``(addresses, is_write)`` pairs.
         """
         from repro.trace.generator import trace_chunks
 
@@ -148,7 +152,8 @@ class StencilKernel(abc.ABC):
             tk = selection.array_tile.tk
         chunks = self.iter_chunks(schedule, ti=ti, tj=tj, tk=tk)
         return trace_chunks(chunks, self.refs(specs),
-                            max_addresses=chunk_size)
+                            max_addresses=chunk_size,
+                            structured=structured)
 
     # ------------------------------------------------------------------
     # accounting

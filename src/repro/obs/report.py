@@ -94,6 +94,15 @@ class RunSummary:
     worker_attempts: int = 0
     pool_retries: int = 0
     quarantined: int = 0
+    #: K-plane extrapolation (``extrapolate`` events).
+    extrapolation_fired: int = 0
+    extrapolation_fallback: int = 0
+    extrapolation_planes_skipped: int = 0
+    #: batched-engine activity from the metrics snapshot: mode -> runs.
+    engine_runs: dict[str, int] = field(default_factory=dict)
+    #: partition strategy -> invocation count (metrics snapshot).
+    partitions: dict[str, int] = field(default_factory=dict)
+    shared_sort_hits: int = 0
     #: (kernel, strategy, n, dur_s, refs) of the slowest simulations.
     slowest: list[tuple] = field(default_factory=list)
     #: span name -> peak tracemalloc KiB (only when profiled).
@@ -156,6 +165,13 @@ def summarize(events: list[dict], metrics: dict | None = None,
             s.checkpoint_resumed += int(ev.get("points", 0))
         elif kind == "checkpoint_recovered":
             s.checkpoint_recovered += 1
+        elif kind == "extrapolate":
+            if ev.get("fired"):
+                s.extrapolation_fired += 1
+                s.extrapolation_planes_skipped += int(
+                    ev.get("planes_skipped", 0))
+            else:
+                s.extrapolation_fallback += 1
         elif kind == "worker_exit":
             s.worker_attempts += 1
         elif kind == "point_retry":
@@ -167,6 +183,17 @@ def summarize(events: list[dict], metrics: dict | None = None,
     if metrics:
         for row in metrics.get("counters", []):
             labels = row.get("labels", {})
+            name = row.get("name")
+            if name == "repro.cache.engine_runs":
+                mode = labels.get("mode", "?")
+                s.engine_runs[mode] = (s.engine_runs.get(mode, 0)
+                                       + int(row.get("value", 0)))
+            elif name == "repro.cache.partition":
+                strat = labels.get("strategy", "?")
+                s.partitions[strat] = (s.partitions.get(strat, 0)
+                                       + int(row.get("value", 0)))
+            elif name == "repro.cache.shared_sort_hits":
+                s.shared_sort_hits += int(row.get("value", 0))
             if row.get("name") == "repro.sim.miss_class":
                 lvl = labels.get("level", "?")
                 s.miss_classes.setdefault(lvl, {})[labels.get("cls", "?")] = \
@@ -205,6 +232,21 @@ def format_report(s: RunSummary) -> str:
             f"pool: {s.worker_attempts} worker attempts, "
             f"{s.pool_retries} point retries, "
             f"{s.quarantined} quarantined to the analytic model")
+    if s.engine_runs or s.partitions:
+        runs = ", ".join(f"{n} {m}" for m, n in sorted(s.engine_runs.items()))
+        parts_str = ", ".join(f"{n} {strat}"
+                              for strat, n in sorted(s.partitions.items()))
+        line = f"cache engine: runs [{runs or 'none'}]"
+        if parts_str:
+            line += f", partitions [{parts_str}]"
+        if s.shared_sort_hits:
+            line += f", {s.shared_sort_hits} shared-sort batches"
+        parts.append(line)
+    if s.extrapolation_fired or s.extrapolation_fallback:
+        parts.append(
+            f"extrapolation: {s.extrapolation_fired} points fired "
+            f"({s.extrapolation_planes_skipped} planes skipped), "
+            f"{s.extrapolation_fallback} fell back to full simulation")
 
     if s.slowest:
         rows = [[k, st, n, f"{dur:.3f}", refs]

@@ -29,16 +29,17 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import pathlib
 import platform
 import sys
-from collections import deque
 from typing import Sequence
 
 from repro.cache.hierarchy import CacheHierarchy
-from repro.perf.timing import best_of, time_call
+from repro.perf.timing import best_of
 
-__all__ = ["bench_point", "bench_sweep", "write_bench", "main"]
+__all__ = ["bench_point", "bench_sweep", "write_bench", "read_bench",
+           "compare_benchmarks", "format_compare", "main"]
 
 _SCHEMA_VERSION = 1
 
@@ -49,7 +50,13 @@ DEFAULT_STRATEGIES = ("Orig", "GcdPad")
 
 
 def _point_pipeline(kernel: str, strategy: str, n: int, cfg):
-    """(trace_fn, l1_fn, l2_fn, end_fn, addresses) for one point."""
+    """(trace_fn, l1_fn, l2_fn, end_fn, addresses_fn) for one point.
+
+    ``addresses_fn`` reports the trace length *counted during the timed
+    ``trace_fn`` runs* — the trace is never drained an extra time just
+    to count it (it used to be, which charged every benched point one
+    unmeasured full generation).
+    """
     from repro.cache.direct_mapped import DirectMappedCache
     from repro.core.selector import select
     from repro.experiments.runner import _schedule_for, _simulate_exact
@@ -63,16 +70,26 @@ def _point_pipeline(kernel: str, strategy: str, n: int, cfg):
     inter_pad = cfg.cs if cfg.inter_pad else None
 
     def chunks():
-        return kern.trace(sel, schedule, inter_pad_cache=inter_pad)
+        return kern.trace(sel, schedule, inter_pad_cache=inter_pad,
+                          structured=True)
+
+    counted = {"addresses": 0}
 
     def trace_only():
-        # deque(maxlen=0) drains the generator with no Python loop.
-        deque(chunks(), maxlen=0)
+        total = 0
+        for chunk in chunks():
+            total += chunk.matrix.size
+        counted["addresses"] = total
+
+    def addresses_fn() -> int:
+        if not counted["addresses"]:  # trace_fn not timed yet
+            trace_only()
+        return counted["addresses"]
 
     def l1_only():
         sim = DirectMappedCache(cfg.l1)
-        for addrs, _ in chunks():
-            sim.access(addrs)
+        for chunk in chunks():
+            sim.access(chunk.addresses)
 
     def full_hierarchy():
         CacheHierarchy(cfg.levels).run(chunks())
@@ -80,8 +97,7 @@ def _point_pipeline(kernel: str, strategy: str, n: int, cfg):
     def end_to_end():
         _simulate_exact(kernel, strategy, n, cfg)
 
-    addresses = sum(len(a) for a, _ in chunks())
-    return trace_only, l1_only, full_hierarchy, end_to_end, addresses
+    return trace_only, l1_only, full_hierarchy, end_to_end, addresses_fn
 
 
 def bench_point(kernel: str, strategy: str, n: int, cfg=None, *,
@@ -90,8 +106,10 @@ def bench_point(kernel: str, strategy: str, n: int, cfg=None, *,
     from repro.experiments.config import ExperimentConfig
 
     cfg = cfg or ExperimentConfig()
-    trace_fn, l1_fn, l2_fn, end_fn, addresses = _point_pipeline(
+    trace_fn, l1_fn, l2_fn, end_fn, addresses_fn = _point_pipeline(
         kernel, strategy, n, cfg)
+    trace_seconds = best_of(trace_fn, repeats)
+    addresses = addresses_fn()
     end_seconds = best_of(end_fn, repeats)
     return {
         "kernel": kernel,
@@ -99,7 +117,7 @@ def bench_point(kernel: str, strategy: str, n: int, cfg=None, *,
         "n": n,
         "nk": cfg.nk,
         "addresses": addresses,
-        "trace_seconds": best_of(trace_fn, repeats),
+        "trace_seconds": trace_seconds,
         "l1_seconds": best_of(l1_fn, repeats),
         "l2_seconds": best_of(l2_fn, repeats),
         "end_to_end_seconds": end_seconds,
@@ -138,6 +156,104 @@ def write_bench(report: dict, path) -> pathlib.Path:
     out = pathlib.Path(path)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return out
+
+
+# ----------------------------------------------------------------------
+# report comparison (``repro bench compare OLD.json NEW.json``)
+# ----------------------------------------------------------------------
+
+def read_bench(path) -> dict:
+    """Load a bench report, validating just enough to compare it."""
+    from repro.errors import ExperimentError
+
+    p = pathlib.Path(path)
+    if not p.exists():
+        raise ExperimentError(f"no such bench report: {p}")
+    try:
+        report = json.loads(p.read_text())
+    except ValueError as exc:
+        raise ExperimentError(f"{p}: not valid JSON ({exc})") from None
+    if not isinstance(report, dict) or not isinstance(
+            report.get("points"), list):
+        raise ExperimentError(
+            f"{p}: not a bench report (missing 'points' list)")
+    return report
+
+
+def _point_key(pt: dict) -> tuple:
+    return (pt.get("kernel"), pt.get("strategy"), pt.get("n"),
+            pt.get("nk"))
+
+
+def compare_benchmarks(old: dict, new: dict) -> dict:
+    """Per-point speedups of ``new`` over ``old`` (matched by identity).
+
+    Points are matched on (kernel, strategy, n, nk); unmatched points
+    are listed, not dropped silently. ``fingerprint_match`` /
+    ``host_match`` flag whether the runs simulated the same
+    configuration on the same platform — a fingerprint mismatch means
+    the workloads differ and the speedups are not meaningful (the CLI
+    refuses such comparisons without ``--force``); a host mismatch
+    merely calibrates expectations.
+    """
+    old_pts = {_point_key(p): p for p in old["points"]}
+    new_pts = {_point_key(p): p for p in new["points"]}
+    common = [k for k in old_pts if k in new_pts]
+    rows = []
+    for key in common:
+        o, nw = old_pts[key], new_pts[key]
+        o_rate = float(o.get("addresses_per_second") or 0.0)
+        n_rate = float(nw.get("addresses_per_second") or 0.0)
+        rows.append({
+            "kernel": key[0], "strategy": key[1], "n": key[2],
+            "nk": key[3],
+            "old_addresses_per_second": o_rate,
+            "new_addresses_per_second": n_rate,
+            "speedup": (n_rate / o_rate) if o_rate > 0 else None,
+        })
+    speedups = [r["speedup"] for r in rows if r["speedup"]]
+    geomean = (math.exp(sum(math.log(s) for s in speedups)
+                        / len(speedups)) if speedups else None)
+    return {
+        "fingerprint_match": old.get("fingerprint") == new.get("fingerprint"),
+        "host_match": old.get("host") == new.get("host"),
+        "old_fingerprint": old.get("fingerprint"),
+        "new_fingerprint": new.get("fingerprint"),
+        "points": rows,
+        "only_old": sorted(k for k in old_pts if k not in new_pts),
+        "only_new": sorted(k for k in new_pts if k not in old_pts),
+        "geomean_speedup": geomean,
+    }
+
+
+def format_compare(cmp: dict) -> str:
+    """Human-readable rendering of a :func:`compare_benchmarks` result."""
+    lines = []
+    if not cmp["fingerprint_match"]:
+        lines.append("WARNING: config fingerprints differ "
+                     f"({cmp['old_fingerprint']} vs "
+                     f"{cmp['new_fingerprint']}) — different workloads, "
+                     "speedups are not meaningful")
+    if not cmp["host_match"]:
+        lines.append("note: host platforms differ (python/numpy/machine)")
+    lines.append(f"{'kernel':8s} {'strategy':8s} {'N':>4s}  "
+                 f"{'old addr/s':>12s}  {'new addr/s':>12s}  {'speedup':>8s}")
+    for r in sorted(cmp["points"],
+                    key=lambda r: (r["kernel"], r["strategy"], r["n"])):
+        spd = f"{r['speedup']:.2f}x" if r["speedup"] else "n/a"
+        lines.append(f"{r['kernel']:8s} {r['strategy']:8s} {r['n']:>4d}  "
+                     f"{r['old_addresses_per_second']:>12.3e}  "
+                     f"{r['new_addresses_per_second']:>12.3e}  {spd:>8s}")
+    for label, keys in (("only in OLD", cmp["only_old"]),
+                        ("only in NEW", cmp["only_new"])):
+        for k in keys:
+            lines.append(f"{label}: {k[0]}/{k[1]} N={k[2]} NK={k[3]}")
+    if cmp["geomean_speedup"]:
+        lines.append(f"geomean speedup: {cmp['geomean_speedup']:.2f}x "
+                     f"over {len(cmp['points'])} common point(s)")
+    elif not cmp["points"]:
+        lines.append("no common points to compare")
+    return "\n".join(lines)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

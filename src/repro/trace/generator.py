@@ -27,8 +27,8 @@ from repro.errors import TraceError
 from repro.layout.array import ArraySpec
 from repro.obs import metrics
 
-__all__ = ["Ref", "trace_chunks", "kernel_refs", "count_refs",
-           "DEFAULT_CHUNK_ADDRESSES"]
+__all__ = ["Ref", "TraceChunk", "trace_chunks", "kernel_refs",
+           "count_refs", "DEFAULT_CHUNK_ADDRESSES"]
 
 #: Default bound on addresses per yielded chunk (``2**20`` int64 = 8 MB).
 #: Large enough that numpy call overhead is negligible, small enough
@@ -70,14 +70,109 @@ def count_refs(refs: list[Ref]) -> tuple[int, int]:
     return len(refs) - w, w
 
 
+@dataclass(frozen=True)
+class TraceChunk:
+    """One program-ordered trace chunk in its natural (matrix) shape.
+
+    Row ``r`` holds iteration ``r``'s references in program order; the
+    row-major flattening (:attr:`addresses`) is the interleaved address
+    stream. Keeping the matrix lets consumers slice by reference
+    position — with the reads-first reference convention of
+    :func:`kernel_refs`, :attr:`read_addresses` is a column slice and a
+    write-around hierarchy never materializes a per-address boolean
+    mask at all.
+    """
+
+    matrix: np.ndarray      #: ``(n_iters, n_refs)`` int64 byte addresses
+    wmask_row: np.ndarray   #: ``(n_refs,)`` per-reference write flags
+
+    @property
+    def n_iters(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def reads(self) -> int:
+        """Read accesses in this chunk."""
+        nw = int(np.count_nonzero(self.wmask_row))
+        return self.n_iters * (self.matrix.shape[1] - nw)
+
+    @property
+    def writes(self) -> int:
+        """Write accesses in this chunk."""
+        return self.n_iters * int(np.count_nonzero(self.wmask_row))
+
+    @property
+    def addresses(self) -> np.ndarray:
+        """The flat interleaved address stream (a zero-copy view)."""
+        return self.matrix.reshape(-1)
+
+    @property
+    def write_mask(self) -> np.ndarray:
+        """Per-address write flags aligned with :attr:`addresses`."""
+        return np.tile(self.wmask_row, self.n_iters)
+
+    @property
+    def read_addresses(self) -> np.ndarray:
+        """The read accesses only, still in program order.
+
+        With reads-first reference lists (the :func:`kernel_refs`
+        contract) this is a column slice; otherwise it falls back to
+        boolean selection. Either way the result equals
+        ``addresses[~write_mask]``.
+        """
+        nw = int(np.count_nonzero(self.wmask_row))
+        if nw == 0:
+            return self.addresses
+        nr = self.matrix.shape[1] - nw
+        if not self.wmask_row[:nr].any():   # reads-first layout
+            return self.matrix[:, :nr].reshape(-1)
+        return self.matrix[:, ~self.wmask_row].reshape(-1)
+
+    def pair(self) -> tuple[np.ndarray, np.ndarray]:
+        """The legacy ``(addresses, is_write)`` chunk form."""
+        return self.addresses, self.write_mask
+
+
+def _refs_by_spec(refs: list[Ref]) -> list[tuple[ArraySpec, list]]:
+    """Group references by array, precomputing per-ref byte offsets.
+
+    A reference's address is linear in the iteration coordinates:
+    ``addr_array(i + oi - 1, ...) * eb  ==  addr_array(i, j, k) * eb
+    + const`` with ``const = ((oi-1) + (oj-1)*di + (ok-1)*plane) * eb``
+    folded at build time (exact int64 algebra — every reference of one
+    array then costs a single vector add off a shared base column).
+    """
+    groups: dict[int, tuple[ArraySpec, list]] = {}
+    for col, ref in enumerate(refs):
+        spec = ref.array
+        const = ((ref.oi - 1)
+                 + (ref.oj - 1) * spec.di
+                 + (ref.ok - 1) * spec.plane) * spec.elem_bytes
+        groups.setdefault(id(spec), (spec, []))[1].append(
+            (col, np.int64(const)))
+    return list(groups.values())
+
+
+#: Row-block budget for the address-matrix fill, in matrix elements
+#: (~1 MB of int64): each block's columns are written while the block
+#: is still cache-resident, instead of streaming the whole multi-MB
+#: matrix once per reference.
+_FILL_BLOCK_ELEMENTS = 1 << 17
+
+
 def trace_chunks(iter_chunks, refs: list[Ref],
                  max_addresses: int | None = None,
-                 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-    """Yield (byte_addresses, is_write) chunks in program order.
+                 structured: bool = False,
+                 ) -> Iterator:
+    """Yield program-ordered trace chunks.
 
     ``iter_chunks`` yields 1-based ``(I, J, K)`` coordinate arrays (see
     :mod:`repro.trace.enumerators`); each output chunk interleaves the
-    per-iteration references.
+    per-iteration references. By default chunks are the legacy
+    ``(byte_addresses, is_write)`` pairs; with ``structured=True`` they
+    are :class:`TraceChunk` objects carrying the same stream in matrix
+    form (the hierarchy engine consumes those without materializing
+    per-address write masks).
 
     ``max_addresses`` bounds the size of every yielded chunk (and with
     it the peak size of the address matrix built here): ``None`` means
@@ -93,6 +188,8 @@ def trace_chunks(iter_chunks, refs: list[Ref],
             f"max_addresses must be >= 0, got {max_addresses}")
     nrefs = len(refs)
     wmask_row = np.array([r.is_write for r in refs], dtype=bool)
+    groups = _refs_by_spec(refs)
+    blk = max(1, _FILL_BLOCK_ELEMENTS // nrefs)
 
     if max_addresses is None:
         max_addresses = DEFAULT_CHUNK_ADDRESSES
@@ -106,14 +203,18 @@ def trace_chunks(iter_chunks, refs: list[Ref],
         n = i.size
         if n == 0:
             continue
-        addrs = np.empty((n, nrefs), dtype=np.int64)
-        for col, ref in enumerate(refs):
-            spec = ref.array
-            # 1-based coordinate + offset - 1 => 0-based subscript.
-            addrs[:, col] = spec.addr_array(i + (ref.oi - 1),
-                                            j + (ref.oj - 1),
-                                            k + (ref.ok - 1))
-            addrs[:, col] *= spec.elem_bytes
+        matrix = np.empty((n, nrefs), dtype=np.int64)
+        for s in range(0, n, blk):
+            e = min(n, s + blk)
+            ib, jb, kb = i[s:e], j[s:e], k[s:e]
+            for spec, cols in groups:
+                # 1-based coordinates; each ref's subscript offset is
+                # pre-folded into its byte constant (see _refs_by_spec).
+                base = spec.addr_array(ib, jb, kb)
+                base *= spec.elem_bytes
+                for col, const in cols:
+                    np.add(base, const, out=matrix[s:e, col])
         metrics.inc("repro.trace.chunks")
         metrics.inc("repro.trace.addresses", n * nrefs)
-        yield addrs.reshape(-1), np.tile(wmask_row, n)
+        chunk = TraceChunk(matrix, wmask_row)
+        yield chunk if structured else chunk.pair()

@@ -59,12 +59,18 @@ class TestSweepOptions:
         assert not SweepOptions(budget=PointBudget()).plain
         assert not SweepOptions(point_cache="/tmp/c").plain
         assert not SweepOptions(chunk_size=0).plain
+        # extrapolated results carry a provenance flag the shared memo
+        # would misreport, so they must route around it
+        assert not SweepOptions(extrapolate=True).plain
 
     def test_point_policy_projection(self):
         opts = SweepOptions(budget=PointBudget(max_refs=10), chunk_size=64)
         pol = opts.point_policy(journal="J", store="S")
         assert pol == PointPolicy(budget=opts.budget, journal="J",
                                   store="S", chunk_size=64)
+
+    def test_point_policy_carries_extrapolate(self):
+        assert SweepOptions(extrapolate=True).point_policy().extrapolate
 
 
 class TestPointPolicy:
@@ -77,12 +83,15 @@ class TestPointPolicy:
         assert not PointPolicy(analytic=True).plain
         assert not PointPolicy(budget=PointBudget()).plain
         assert not PointPolicy(chunk_size=0).plain
+        assert not PointPolicy(extrapolate=True).plain
 
     def test_analytic_excludes_simulation_knobs(self):
         with pytest.raises(ConfigurationError, match="analytic"):
             PointPolicy(analytic=True, budget=PointBudget())
         with pytest.raises(ConfigurationError, match="analytic"):
             PointPolicy(analytic=True, chunk_size=64)
+        with pytest.raises(ConfigurationError, match="analytic"):
+            PointPolicy(analytic=True, extrapolate=True)
 
     def test_bad_chunk_size(self):
         with pytest.raises(ConfigurationError, match="chunk_size"):

@@ -189,11 +189,24 @@ class TestCheckPayloadRegressions:
         assert (r.kernel, r.strategy, r.n) == self.KEY
 
     def test_truncated_payload_rejected(self, payload):
-        for field in list(payload):
+        # 'extrapolated' is the one legitimately optional field: records
+        # written before it existed must keep validating (as False).
+        for field in set(payload) - {"extrapolated"}:
             bad = dict(payload)
             bad.pop(field)
             with pytest.raises(CheckpointError):
                 _check_payload(self.KEY, bad)
+
+    def test_pre_extrapolated_payload_accepted(self, payload):
+        old = dict(payload)
+        old.pop("extrapolated")
+        assert _check_payload(self.KEY, old).extrapolated is False
+
+    def test_non_bool_extrapolated_rejected(self, payload):
+        bad = dict(payload)
+        bad["extrapolated"] = 1
+        with pytest.raises(CheckpointError, match="extrapolated"):
+            _check_payload(self.KEY, bad)
 
     def test_type_mangled_fields_rejected(self, payload):
         for field in ("l1_rate", "mflops", "refs", "n", "degraded"):
