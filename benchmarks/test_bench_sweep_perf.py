@@ -78,3 +78,58 @@ def test_disabled_cache_path_differential(tiny_config):
                 chunked = run_point(kernel, strategy, 48, tiny_config,
                                     policy=PointPolicy(chunk_size=chunk))
                 assert chunked == mono, (kernel, strategy, chunk)
+
+
+def test_warm_store_integrity_overhead_within_noise(tiny_config, tmp_path):
+    """Checksums + locking must not de-throne the warm store path.
+
+    The integrity layer (CRC verification on every hit, advisory locks
+    around journal/eviction mutations) rides the persistence hot path.
+    Sanity gate in the spirit of this file: a warm, store-served sweep
+    must still beat re-simulating by a wide margin, and per-hit latency
+    stays bounded in absolute terms generous enough for shared runners.
+    """
+    import time
+
+    from repro.experiments.options import SweepOptions
+    from repro.experiments.runner import config_fingerprint, sweep
+    from repro.perf.store import PointStore
+    from repro.resilience import faults
+
+    cache = tmp_path / "cache"
+    opts = SweepOptions(point_cache=cache)
+    grid = ("JACOBI", ["Orig", "GcdPad"], [48, 64])
+
+    t0 = time.perf_counter()
+    cold = sweep(*grid, tiny_config, options=opts)
+    cold_s = time.perf_counter() - t0
+
+    inj = faults.FaultInjector()
+    t0 = time.perf_counter()
+    with faults.inject(inj):
+        warm = sweep(*grid, tiny_config, options=opts)
+    warm_s = time.perf_counter() - t0
+
+    assert inj.calls("simulate") == 0  # everything served from the store
+    assert warm == cold                # and served *exactly*
+    # Checksummed+locked warm serving must stay far below simulation.
+    assert warm_s < 0.5 * cold_s, (warm_s, cold_s)
+
+    # Absolute per-hit bound: parse + CRC verify + mtime touch. 5 ms is
+    # ~100x the typical cost — a failure here means the integrity layer
+    # grew a real per-hit penalty, not runner noise.
+    store = PointStore(cache)
+    fp = config_fingerprint(tiny_config)
+    key = ("JACOBI", "Orig", 48)
+    best = min(
+        _timed_gets(store, fp, key, repeats=100) for _ in range(3))
+    assert best / 100 < 0.005, f"warm get averaged {best / 100:.6f}s"
+
+
+def _timed_gets(store, fp, key, repeats):
+    import time
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        assert store.get(fp, key) is not None
+    return time.perf_counter() - t0

@@ -11,6 +11,7 @@ Exposes the library's main entry points without writing any Python:
     python -m repro mgrid [--level 7]
     python -m repro section1
     python -m repro cache info --point-cache DIR
+    python -m repro fsck PATH [--repair]
     python -m repro bench compare OLD.json NEW.json
     python -m repro obs-report run.jsonl [--metrics metrics.json]
 
@@ -31,7 +32,13 @@ Performance (``simulate``, ``table3``, ``figures``): ``--point-cache
 DIR`` keeps a persistent, content-addressed store of simulated points —
 repeated runs (and the parallel pool) skip anything any previous run
 already finished; ``repro cache info|clear --point-cache DIR`` inspects
-or empties it. ``--chunk-size N`` bounds the addresses materialized per
+or empties it. Journals and store entries are checksummed; ``repro
+fsck PATH`` verifies one (a journal file or a store directory) record
+by record and exits nonzero on damage — ``--repair`` quarantines the
+damaged records so the artifact is clean again. Sweeps carrying a
+checkpoint or point cache drain gracefully on SIGINT/SIGTERM: in-flight
+points finish and journal, the command exits 130, and re-running
+resumes from the journal. ``--chunk-size N`` bounds the addresses materialized per
 trace chunk (0 = unbounded; results are bit-for-bit identical either
 way). ``--extrapolate`` enables exact steady-state K-plane
 extrapolation: untiled points stop simulating once their per-plane
@@ -224,6 +231,20 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--point-cache", metavar="DIR", required=True,
                     help="the store directory to operate on")
 
+    sp = sub.add_parser("fsck",
+                        help="verify/repair a checkpoint journal or "
+                             "point store",
+                        parents=[logopts])
+    sp.add_argument("target", metavar="PATH",
+                    help="a checkpoint journal file or a --point-cache "
+                         "store directory")
+    sp.add_argument("--repair", action="store_true",
+                    help="quarantine damaged records (with provenance "
+                         "sidecars) and rewrite the artifact from the "
+                         "records that verified")
+    sp.add_argument("--show-ok", action="store_true",
+                    help="list healthy records too, not just problems")
+
     sp = sub.add_parser("obs-report",
                         help="summarize a --log-json event file",
                         parents=[logopts])
@@ -335,8 +356,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
     except Exception as exc:
-        from repro.errors import ReproError
+        from repro.errors import ReproError, SweepInterrupted
 
+        if isinstance(exc, SweepInterrupted):
+            # Graceful drain: everything finished is journaled, the
+            # sweep is resumable; 130 is the conventional
+            # died-on-SIGINT code schedulers and shells expect.
+            print(f"repro: interrupted: {exc}", file=sys.stderr)
+            return 130
         if not isinstance(exc, ReproError):
             raise
         print(f"repro: error: {exc}", file=sys.stderr)
@@ -463,6 +490,13 @@ def _dispatch(args) -> int:
                 f"{cmp['new_fingerprint']}): the reports benched "
                 f"different workloads; pass --force to compare anyway")
         print(format_compare(cmp))
+
+    elif args.command == "fsck":
+        from repro.resilience.fsck import fsck_path
+
+        report = fsck_path(args.target, repair=args.repair)
+        print(report.render(verbose=args.show_ok))
+        return 0 if report.ok else 1
 
     elif args.command == "cache":
         from repro.experiments.runner import cache_info, clear_cache

@@ -62,6 +62,42 @@ class BudgetExceededError(ReproError):
     """
 
 
+class StorageError(ReproError):
+    """A durable write or read failed at the filesystem level (ENOSPC,
+    EIO, a failed fsync). The atomic writer guarantees the *old* artifact
+    is intact when this is raised — the failure is surfaced, never a torn
+    file."""
+
+
+class IntegrityError(ReproError):
+    """A durable record failed its integrity check (checksum mismatch,
+    truncated or type-mangled content). The damaged artifact is
+    quarantined, never served; ``repro fsck`` reports and repairs."""
+
+
+class FsckError(ReproError):
+    """``repro fsck`` was pointed at something that is neither a
+    checkpoint journal file nor a point-store directory."""
+
+
+class LockError(StorageError):
+    """An advisory file lock could not be acquired (timeout on a lock
+    held by a live process, or an unbreakable stale lock)."""
+
+
+class SweepInterrupted(ExperimentError):
+    """A sweep drained gracefully after SIGINT/SIGTERM: in-flight points
+    finished and were journaled, pending points were skipped. The
+    journal is resumable; the CLI maps this to exit code 130."""
+
+    def __init__(self, message: str, *, signum: int | None = None,
+                 completed: int = 0, skipped: int = 0):
+        super().__init__(message)
+        self.signum = signum
+        self.completed = completed
+        self.skipped = skipped
+
+
 class CheckpointError(ExperimentError):
     """A checkpoint journal is unusable: missing header, corrupted
     beyond the recoverable trailing line, written by a newer format

@@ -23,8 +23,6 @@ from repro.experiments.runner import (
     open_journal,
     open_store,
     run_point,
-    run_point_analytic,
-    run_point_resilient,
     sweep,
 )
 from repro.experiments.transforms_table import TRANSFORMS, PAPER_STRATEGIES
@@ -40,8 +38,6 @@ __all__ = [
     "open_journal",
     "open_store",
     "run_point",
-    "run_point_analytic",
-    "run_point_resilient",
     "sweep",
     "TRANSFORMS",
     "PAPER_STRATEGIES",

@@ -18,7 +18,7 @@ import logging
 from dataclasses import dataclass
 
 from repro.experiments.config import ExperimentConfig, default_sizes
-from repro.experiments.options import SweepOptions, merge_deprecated_kwargs
+from repro.experiments.options import SweepOptions
 from repro.experiments.report import format_series, provenance_note
 from repro.experiments.runner import PointResult, sweep
 from repro.perfmodel.machine import ULTRASPARC2_450
@@ -50,17 +50,13 @@ class FigureData:
 
 def figure_series(kernel: str, sizes: list[int] | None = None,
                   cfg: ExperimentConfig | None = None, *,
-                  options: SweepOptions | None = None,
-                  **deprecated) -> FigureData:
+                  options: SweepOptions | None = None) -> FigureData:
     """Miss-rate and MFlops series for Figures 14-19.
 
     Execution choices (checkpointing, budgets, parallel workers, the
     persistent point cache, trace chunk size) travel in ``options`` —
-    see :class:`~repro.experiments.options.SweepOptions`. The
-    pre-``SweepOptions`` keyword form (``checkpoint=...`` etc.) is
-    deprecated and emits one :class:`DeprecationWarning`.
+    see :class:`~repro.experiments.options.SweepOptions`.
     """
-    options = merge_deprecated_kwargs("figure_series", options, deprecated)
     cfg = cfg or ExperimentConfig()
     sizes = sizes or default_sizes()
     strategies = ["Orig", "Tile", "Euc3D", "GcdPad", "Pad", "GcdPadNT"]

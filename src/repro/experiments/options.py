@@ -11,25 +11,25 @@ module collapses the sprawl into two frozen dataclasses:
   hard point timeout), and performance (persistent point cache, trace
   chunk size). Passed as one ``options=`` argument.
 * :class:`PointPolicy` — everything *one point's* execution may carry;
-  the single ``run_point(..., policy=)`` entry point replaces the old
+  the single ``run_point(..., policy=)`` entry point replaced the old
   ``run_point`` / ``run_point_resilient`` / ``run_point_analytic``
-  trio (kept as deprecation shims).
+  trio.
 
 Both are frozen (hashable, safe to share across threads and to ship to
 worker processes) and validate in ``__post_init__`` so a bad value
 fails at construction, where the typo is, not deep inside a sweep.
 
-The old keyword forms still work and emit one
-:class:`DeprecationWarning`; they will be removed two PRs after this
-one (see README's deprecation note).
+The legacy keyword forms (and their shims) completed their deprecation
+cycle and are **removed**: passing ``checkpoint=`` etc. to ``sweep`` /
+``table3`` / ``figure_series`` now raises :class:`TypeError` like any
+other unknown keyword.
 """
 
 from __future__ import annotations
 
 import os
-import warnings
-from dataclasses import dataclass, fields, replace
-from typing import TYPE_CHECKING, Any
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.resilience import PointBudget
@@ -38,7 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.perf.store import PointStore
     from repro.resilience import CheckpointJournal
 
-__all__ = ["SweepOptions", "PointPolicy", "merge_deprecated_kwargs"]
+__all__ = ["SweepOptions", "PointPolicy"]
 
 
 @dataclass(frozen=True)
@@ -165,39 +165,3 @@ def _check_chunk_size(chunk_size: int | None) -> None:
     if chunk_size is not None and chunk_size < 0:
         raise ConfigurationError(
             f"chunk_size must be >= 0 (0 = unbounded), got {chunk_size}")
-
-
-#: Legacy sweep keywords accepted (with a DeprecationWarning) by
-#: ``sweep``/``table3``/``figure_series`` until their removal.
-_LEGACY_SWEEP_KWARGS = ("checkpoint", "budget", "parallel",
-                       "point_timeout", "resume_force")
-
-
-def merge_deprecated_kwargs(func: str, options: SweepOptions | None,
-                            kwargs: dict[str, Any]) -> SweepOptions | None:
-    """Fold legacy ``checkpoint=``-style keywords into ``SweepOptions``.
-
-    Unknown keywords raise :class:`TypeError` (matching normal call
-    semantics); legacy ones emit **one** :class:`DeprecationWarning`
-    naming the replacement and are rejected when ``options`` is also
-    given — silently preferring one source over the other would hide a
-    caller bug.
-    """
-    if not kwargs:
-        return options
-    unknown = sorted(set(kwargs) - set(_LEGACY_SWEEP_KWARGS))
-    if unknown:
-        raise TypeError(
-            f"{func}() got unexpected keyword arguments {unknown}")
-    if options is not None:
-        raise ConfigurationError(
-            f"{func}() received both options= and deprecated keyword(s) "
-            f"{sorted(kwargs)}; pass everything in options=")
-    warnings.warn(
-        f"{func}({', '.join(sorted(kwargs))}=...) keyword arguments are "
-        f"deprecated; pass {func}(..., options=SweepOptions(...)) instead",
-        DeprecationWarning, stacklevel=3)
-    defaults = {f.name: f.default for f in fields(SweepOptions)}
-    merged = {k: v if v is not None else defaults[k]
-              for k, v in kwargs.items()}
-    return replace(SweepOptions(), **merged)

@@ -20,9 +20,9 @@ machinery the point may use — nothing (the memoized exact fast path),
 the analytic miss model, a retry/degrade budget, a checkpoint journal,
 a persistent point store, a trace chunk bound — and sweeps carry the
 same choices in one frozen :class:`~repro.experiments.options.SweepOptions`.
-The old ``run_point_resilient`` / ``run_point_analytic`` functions and
-the ``sweep(checkpoint=..., budget=...)`` keyword forms remain as thin
-deprecation shims.
+(The pre-``PointPolicy`` shims — ``run_point_resilient``,
+``run_point_analytic``, the ``sweep(checkpoint=...)`` keyword forms —
+completed their deprecation cycle and are gone.)
 
 Caching is layered; a point is served by the first layer that has it:
 
@@ -44,15 +44,24 @@ and quarantine (:mod:`repro.resilience.pool`); serial and parallel runs
 share journal format and fingerprint, so either resumes the other.
 Degraded points are journaled but never written to the point store —
 a stand-in must not outlive the incident that caused it.
+
+Durable sweeps (journal and/or store) additionally get **graceful
+draining** (:mod:`repro.resilience.signals`): the first SIGINT/SIGTERM
+lets in-flight points finish and journal, then raises
+:class:`~repro.errors.SweepInterrupted` (CLI exit 130) with the journal
+cleanly resumable; a second signal aborts immediately. Journal and
+store are checksummed and lock-protected (see
+:mod:`repro.resilience.checkpoint`, :mod:`repro.perf.store`), so
+concurrent sweeps may share both.
 """
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import math
 import os
 import time
-import warnings
 from dataclasses import asdict, dataclass
 from functools import lru_cache
 from typing import Mapping
@@ -66,13 +75,10 @@ from repro.errors import (
     CheckpointError,
     ExperimentError,
     RetryableError,
+    SweepInterrupted,
 )
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.options import (
-    PointPolicy,
-    SweepOptions,
-    merge_deprecated_kwargs,
-)
+from repro.experiments.options import PointPolicy, SweepOptions
 from repro.ir.stencil import JACOBI_3D, REDBLACK_6PT, RESID_27PT
 from repro.kernels import KERNELS, Schedule
 from repro.obs import events, metrics
@@ -86,10 +92,10 @@ from repro.resilience import (
     run_with_retries,
 )
 from repro.resilience import faults
+from repro.resilience.signals import DrainState, graceful_drain
 from repro.types import SelectionResult
 
-__all__ = ["PointResult", "RunnerCacheInfo", "run_point",
-           "run_point_analytic", "run_point_resilient", "sweep",
+__all__ = ["PointResult", "RunnerCacheInfo", "run_point", "sweep",
            "open_journal", "open_store", "config_fingerprint",
            "clear_cache", "cache_info"]
 
@@ -491,15 +497,25 @@ def _check_payload(key, payload) -> PointResult:
 
 def _store_lookup(store: PointStore, fingerprint_: str,
                   key: tuple) -> PointResult | None:
-    """Validated store hit, or ``None`` (invalid entries read as misses)."""
+    """Validated store hit, or ``None`` (invalid entries read as misses).
+
+    An entry that parses and checksums but fails :func:`_check_payload`
+    (wrong identity, mangled field types) is *semantically* poisoned:
+    it must be quarantined, not merely skipped — a skipped entry stays
+    on disk and re-reads as a miss forever (a degraded re-simulation is
+    never stored, so nothing ever overwrites it), poisoning every
+    future consumer.
+    """
     payload = store.get(fingerprint_, key)
     if payload is None:
         return None
     try:
         return _check_payload(key, payload)
     except CheckpointError as exc:
-        log.warning("ignoring invalid point-cache entry for %r (%s)",
+        log.warning("quarantining invalid point-cache entry for %r (%s)",
                     key, exc)
+        store.discard(fingerprint_, key,
+                      reason=f"failed payload validation: {exc}")
         return None
 
 
@@ -599,38 +615,6 @@ def run_point(kernel: str, strategy: str, n: int,
 
 
 # ----------------------------------------------------------------------
-# deprecation shims (remove two PRs after this one; see README)
-# ----------------------------------------------------------------------
-
-def run_point_analytic(kernel: str, strategy: str, n: int,
-                       cfg: ExperimentConfig | None = None) -> PointResult:
-    """Deprecated: use ``run_point(..., policy=PointPolicy(analytic=True))``."""
-    warnings.warn(
-        "run_point_analytic() is deprecated; call "
-        "run_point(..., policy=PointPolicy(analytic=True)) instead",
-        DeprecationWarning, stacklevel=2)
-    return run_point(kernel, strategy, n, cfg,
-                     policy=PointPolicy(analytic=True))
-
-
-def run_point_resilient(kernel: str, strategy: str, n: int,
-                        cfg: ExperimentConfig | None = None,
-                        budget: PointBudget | None = None,
-                        journal: CheckpointJournal | None = None
-                        ) -> PointResult:
-    """Deprecated: use ``run_point(..., policy=PointPolicy(...))``."""
-    warnings.warn(
-        "run_point_resilient() is deprecated; call "
-        "run_point(..., policy=PointPolicy(budget=..., journal=...)) "
-        "instead", DeprecationWarning, stacklevel=2)
-    # The legacy function always ran resiliently: no explicit budget
-    # still meant default retry/degrade bounds, never the memoized path.
-    return run_point(kernel, strategy, n, cfg,
-                     policy=PointPolicy(budget=budget or PointBudget(),
-                                        journal=journal))
-
-
-# ----------------------------------------------------------------------
 # sweeps
 # ----------------------------------------------------------------------
 
@@ -656,7 +640,8 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
                     workers: int,
                     point_timeout: float | None,
                     chunk_size: int | None,
-                    extrapolate: bool = False
+                    extrapolate: bool = False,
+                    drain: DrainState | None = None
                     ) -> dict[str, list[PointResult]]:
     """Run sweep points through the supervised process pool.
 
@@ -723,17 +708,25 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
         log.info("parallel sweep %s: %d points across %d workers "
                  "(timeout %s)", kernel, len(tasks), workers,
                  f"{point_timeout}s" if point_timeout else "none")
-        run_supervised(_pool_point_task, tasks, policy,
-                       validate=_check_payload, fallback=fallback,
-                       on_result=on_result)
+        outcomes = run_supervised(_pool_point_task, tasks, policy,
+                                  validate=_check_payload, fallback=fallback,
+                                  on_result=on_result, drain=drain)
+        skipped = sum(1 for o in outcomes if o.skipped)
+        if skipped:
+            raise SweepInterrupted(
+                f"sweep drained after {drain.signal_name()}: "
+                f"{len(results)} point(s) completed and journaled, "
+                f"{skipped} skipped (resume from the checkpoint)",
+                signum=drain.signum, completed=len(results),
+                skipped=skipped)
     return {s: [results[(kernel, s, n)] for n in sizes]
             for s in strategies}
 
 
 def sweep(kernel: str, strategies: list[str], sizes: list[int],
           cfg: ExperimentConfig | None = None, *,
-          options: SweepOptions | None = None,
-          **deprecated) -> dict[str, list[PointResult]]:
+          options: SweepOptions | None = None
+          ) -> dict[str, list[PointResult]]:
     """Run a full (strategy x size) sweep for one kernel.
 
     All execution choices travel in one frozen
@@ -755,11 +748,13 @@ def sweep(kernel: str, strategies: list[str], sizes: list[int],
       independent of it).
 
     With default options the fast memoized path is used unchanged.
-    The pre-``SweepOptions`` keyword form (``checkpoint=...`` etc.) is
-    deprecated and emits one :class:`DeprecationWarning`.
+    Durable sweeps (a journal and/or store) drain gracefully on
+    SIGINT/SIGTERM: in-flight points finish and journal, then the sweep
+    raises :class:`~repro.errors.SweepInterrupted` — resumable, exit
+    code 130 at the CLI. A plain in-memory sweep keeps ordinary Ctrl-C
+    behaviour.
     """
-    options = merge_deprecated_kwargs("sweep", options,
-                                      deprecated) or SweepOptions()
+    options = options or SweepOptions()
     cfg = cfg or ExperimentConfig()
     log.debug("sweep %s: %d strategies x %d sizes", kernel,
               len(strategies), len(sizes))
@@ -776,28 +771,49 @@ def sweep(kernel: str, strategies: list[str], sizes: list[int],
         journal = _resolve_journal(options.checkpoint, cfg,
                                    force=options.resume_force)
         store = open_store(options.point_cache)
-        if use_parallel:
-            return _sweep_parallel(kernel, strategies, sizes, cfg,
-                                   journal=journal, store=store,
-                                   budget=options.budget,
-                                   workers=options.parallel,
-                                   point_timeout=options.point_timeout,
-                                   chunk_size=options.chunk_size,
-                                   extrapolate=options.extrapolate)
-        budget = options.budget
-        if options.point_timeout is not None and budget is None:
-            # Serial degradation of --point-timeout: no supervisor to
-            # SIGKILL, so enforce it as an in-process wall budget.
-            budget = PointBudget(wall_seconds=options.point_timeout)
-        policy = PointPolicy(budget=budget, journal=journal, store=store,
-                             chunk_size=options.chunk_size,
-                             extrapolate=options.extrapolate)
-        if policy.plain:
-            return {s: [run_point(kernel, s, n, cfg) for n in sizes]
-                    for s in strategies}
-        return {s: [run_point(kernel, s, n, cfg, policy=policy)
-                    for n in sizes]
-                for s in strategies}
+        durable = journal is not None or store is not None
+        drain_cm = (graceful_drain() if durable
+                    else contextlib.nullcontext(None))
+        with drain_cm as drain:
+            if use_parallel:
+                return _sweep_parallel(kernel, strategies, sizes, cfg,
+                                       journal=journal, store=store,
+                                       budget=options.budget,
+                                       workers=options.parallel,
+                                       point_timeout=options.point_timeout,
+                                       chunk_size=options.chunk_size,
+                                       extrapolate=options.extrapolate,
+                                       drain=drain)
+            budget = options.budget
+            if options.point_timeout is not None and budget is None:
+                # Serial degradation of --point-timeout: no supervisor to
+                # SIGKILL, so enforce it as an in-process wall budget.
+                budget = PointBudget(wall_seconds=options.point_timeout)
+            policy = PointPolicy(budget=budget, journal=journal, store=store,
+                                 chunk_size=options.chunk_size,
+                                 extrapolate=options.extrapolate)
+            if policy.plain:
+                return {s: [run_point(kernel, s, n, cfg) for n in sizes]
+                        for s in strategies}
+            results: dict[str, list[PointResult]] = {}
+            completed = 0
+            remaining = len(strategies) * len(sizes)
+            for s in strategies:
+                row = []
+                for n in sizes:
+                    if drain is not None and drain.requested:
+                        raise SweepInterrupted(
+                            f"sweep drained after {drain.signal_name()}: "
+                            f"{completed} point(s) completed and "
+                            f"journaled, {remaining} skipped (resume "
+                            f"from the checkpoint)",
+                            signum=drain.signum, completed=completed,
+                            skipped=remaining)
+                    row.append(run_point(kernel, s, n, cfg, policy=policy))
+                    completed += 1
+                    remaining -= 1
+                results[s] = row
+            return results
 
 
 # ----------------------------------------------------------------------

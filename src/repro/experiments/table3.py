@@ -15,7 +15,7 @@ import logging
 from dataclasses import dataclass, replace
 
 from repro.experiments.config import ExperimentConfig, default_sizes
-from repro.experiments.options import SweepOptions, merge_deprecated_kwargs
+from repro.experiments.options import SweepOptions
 from repro.experiments.report import format_table, provenance_note
 from repro.experiments.runner import (
     PointResult,
@@ -75,20 +75,16 @@ def table3(kernels: tuple[str, ...] = ("JACOBI", "REDBLACK", "RESID"),
            strategies: tuple[str, ...] = PAPER_STRATEGIES,
            sizes: list[int] | None = None,
            cfg: ExperimentConfig | None = None, *,
-           options: SweepOptions | None = None,
-           **deprecated) -> Table3Result:
+           options: SweepOptions | None = None) -> Table3Result:
     """Table 3 sweep; execution choices travel in ``options``.
 
     All kernels share one checkpoint journal and one point store
     (points are keyed by kernel/strategy/size), so a resumed or warm
     ``table3`` re-simulates only what no previous run had finished.
     See :class:`~repro.experiments.options.SweepOptions` for the full
-    menu (budgets, parallel workers, point cache, chunk size). The
-    pre-``SweepOptions`` keyword form (``checkpoint=...`` etc.) is
-    deprecated and emits one :class:`DeprecationWarning`.
+    menu (budgets, parallel workers, point cache, chunk size).
     """
-    options = merge_deprecated_kwargs("table3", options,
-                                      deprecated) or SweepOptions()
+    options = options or SweepOptions()
     cfg = cfg or ExperimentConfig()
     sizes = sizes or default_sizes()
     # Resolve the journal and store once so every kernel's sweep shares

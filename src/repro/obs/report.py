@@ -94,6 +94,10 @@ class RunSummary:
     worker_attempts: int = 0
     pool_retries: int = 0
     quarantined: int = 0
+    #: record integrity (``integrity_quarantine`` events +
+    #: ``repro.integrity.*`` counters from the metrics snapshot).
+    integrity_quarantined: int = 0
+    crc_failures: int = 0
     #: K-plane extrapolation (``extrapolate`` events).
     extrapolation_fired: int = 0
     extrapolation_fallback: int = 0
@@ -178,6 +182,8 @@ def summarize(events: list[dict], metrics: dict | None = None,
             s.pool_retries += 1
         elif kind == "quarantine":
             s.quarantined += 1
+        elif kind == "integrity_quarantine":
+            s.integrity_quarantined += 1
     s.slowest = sorted(sims, key=lambda t: -t[3])[:top]
 
     if metrics:
@@ -194,6 +200,8 @@ def summarize(events: list[dict], metrics: dict | None = None,
                                        + int(row.get("value", 0)))
             elif name == "repro.cache.shared_sort_hits":
                 s.shared_sort_hits += int(row.get("value", 0))
+            elif name == "repro.integrity.crc_failures":
+                s.crc_failures += int(row.get("value", 0))
             if row.get("name") == "repro.sim.miss_class":
                 lvl = labels.get("level", "?")
                 s.miss_classes.setdefault(lvl, {})[labels.get("cls", "?")] = \
@@ -232,6 +240,11 @@ def format_report(s: RunSummary) -> str:
             f"pool: {s.worker_attempts} worker attempts, "
             f"{s.pool_retries} point retries, "
             f"{s.quarantined} quarantined to the analytic model")
+    if s.integrity_quarantined or s.crc_failures:
+        parts.append(
+            f"integrity: {s.crc_failures} checksum failures, "
+            f"{s.integrity_quarantined} artifacts quarantined "
+            f"(inspect .quarantine/, then `repro fsck`)")
     if s.engine_runs or s.partitions:
         runs = ", ".join(f"{n} {m}" for m, n in sorted(s.engine_runs.items()))
         parts_str = ", ".join(f"{n} {strat}"

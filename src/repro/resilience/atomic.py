@@ -3,8 +3,8 @@
 POSIX ``rename(2)`` within one filesystem is atomic, so readers (and a
 process killed mid-write) observe either the old content or the new —
 never a half-written artifact. Every durable artifact this package
-produces (checkpoint journals, CSV exports, benchmark tables) funnels
-through here.
+produces (checkpoint journals, point-store entries, CSV exports,
+benchmark tables) funnels through here.
 
 Durability is two-level: the temp file is fsync'd before the swap (the
 *bytes* survive power loss) and the containing directory is fsync'd
@@ -12,17 +12,30 @@ after it (the *name* survives power loss — without the directory sync a
 crash can leave the rename itself unjournaled and the file reverts to
 its old content on some filesystems).
 
+Failure contract: any OS-level failure while producing the new content
+(a torn write, ENOSPC, EIO, a failed temp-file fsync) leaves the **old
+artifact untouched**, removes the temp file, and raises
+:class:`repro.errors.StorageError` — a typed, catchable surface instead
+of a raw ``OSError`` escaping from deep inside a sweep. The injectable
+IO fault layer (:mod:`repro.resilience.faults`, ``REPRO_FAULT_IO``)
+scripts exactly those failures so the contract is proven by tests.
+
 A writer killed between ``mkstemp`` and ``os.replace`` leaves its temp
 file behind; :func:`cleanup_orphan_tmp` sweeps those on the next open
-of the artifact (single-writer contract — the caller must own the
-target path).
+of the artifact (the caller must hold the artifact's lock or otherwise
+own the path — a *live* concurrent writer's temp file is
+indistinguishable from an orphan).
 """
 
 from __future__ import annotations
 
+import errno
 import os
 import pathlib
 import tempfile
+
+from repro.errors import StorageError
+from repro.resilience import faults
 
 __all__ = ["atomic_write_text", "cleanup_orphan_tmp"]
 
@@ -47,6 +60,29 @@ def _fsync_dir(dirpath: pathlib.Path) -> None:
         os.close(fd)
 
 
+def _write_payload(fh, path: pathlib.Path, text: str) -> None:
+    """Write ``text`` to the temp file, firing any scripted write fault."""
+    fault = faults.io_check("write", path)
+    if fault is not None:
+        if fault.mode == "torn_write":
+            # Half the bytes land, then the writer "dies": the torn
+            # content exists only in the temp file, which the error
+            # path removes — the destination must never tear.
+            fh.write(text[: max(1, len(text) // 2)])
+            fh.flush()
+            raise OSError(errno.EIO, f"injected torn write ({path})")
+        if fault.mode == "enospc":
+            raise OSError(errno.ENOSPC,
+                          f"injected ENOSPC (no space left) ({path})")
+        if fault.mode == "eio":
+            raise OSError(errno.EIO, f"injected EIO ({path})")
+    fh.write(text)
+    fh.flush()
+    if faults.io_check("fsync", path) is not None:
+        raise OSError(errno.EIO, f"injected fsync failure ({path})")
+    os.fsync(fh.fileno())
+
+
 def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
     """Write ``text`` to ``path`` atomically; returns the resolved path.
 
@@ -54,7 +90,8 @@ def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
     next to the target (same filesystem, so the final ``os.replace`` is
     a true atomic rename) and is fsync'd before the swap, as is the
     containing directory after it; on any failure the temp file is
-    removed and the original file is left untouched.
+    removed, the original file is left untouched, and OS-level failures
+    surface as :class:`~repro.errors.StorageError`.
     """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -62,16 +99,18 @@ def atomic_write_text(path: str | pathlib.Path, text: str) -> pathlib.Path:
                                dir=path.parent)
     try:
         with os.fdopen(fd, "w") as fh:
-            fh.write(text)
-            fh.flush()
-            os.fsync(fh.fileno())
+            _write_payload(fh, path, text)
         os.replace(tmp, path)
         _fsync_dir(path.parent)
-    except BaseException:
+    except BaseException as exc:
         try:
             os.unlink(tmp)
         except OSError:
             pass
+        if isinstance(exc, OSError):
+            raise StorageError(
+                f"atomic write to {path} failed ({exc}); the previous "
+                f"content is intact") from exc
         raise
     return path
 
@@ -81,9 +120,9 @@ def cleanup_orphan_tmp(path: str | pathlib.Path) -> list[pathlib.Path]:
 
     These are the droppings of writers killed between ``mkstemp`` and
     ``os.replace``. Only call for an artifact the caller exclusively
-    owns (e.g. a checkpoint journal on open): a *live* concurrent
-    writer's temp file is indistinguishable from an orphan. Returns the
-    paths removed.
+    owns (e.g. a checkpoint journal whose lock is held): a *live*
+    concurrent writer's temp file is indistinguishable from an orphan.
+    Returns the paths removed.
     """
     path = pathlib.Path(path)
     removed: list[pathlib.Path] = []

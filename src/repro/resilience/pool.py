@@ -46,6 +46,7 @@ from typing import Any, Callable, Iterable
 
 from repro.errors import ConfigurationError, PoolError
 from repro.resilience import faults
+from repro.resilience.signals import DrainState
 
 __all__ = ["PoolPolicy", "TaskOutcome", "available", "run_supervised"]
 
@@ -123,6 +124,9 @@ class TaskOutcome:
     payload: dict | None = None
     attempts: int = 0
     quarantined: bool = False
+    #: Never attempted (or abandoned pre-retry) because a graceful
+    #: drain was requested; the task is journal-resumable.
+    skipped: bool = False
     #: One human-readable reason per failed attempt, in order.
     failures: list[str] = field(default_factory=list)
 
@@ -218,6 +222,7 @@ def run_supervised(fn: Callable[[Any], dict],
                    fallback: Callable[[tuple, Any], dict] | None = None,
                    on_result: Callable[[tuple, dict, bool], None] | None = None,
                    fault_plan: dict[int, faults.WorkerFault] | None = None,
+                   drain: DrainState | None = None,
                    ) -> list[TaskOutcome]:
     """Execute keyed tasks in supervised child processes.
 
@@ -233,6 +238,12 @@ def run_supervised(fn: Callable[[Any], dict],
     Returns one :class:`TaskOutcome` per task, in submission order.
     ``fault_plan`` defaults to the ``REPRO_FAULT_WORKER`` environment
     plan (see :mod:`repro.resilience.faults`).
+
+    ``drain`` (a :class:`~repro.resilience.signals.DrainState`) makes
+    the pool signal-aware: once a drain is requested, no new workers
+    launch, in-flight workers finish (and journal via ``on_result``),
+    and everything still pending is marked ``skipped`` — resumable,
+    not failed.
     """
     # Lazy import: obs depends on resilience.atomic, so the reverse
     # edge must not exist at module import time.
@@ -363,6 +374,16 @@ def run_supervised(fn: Callable[[Any], dict],
     running: list[_Running] = []
     try:
         while pending or running:
+            if drain is not None and drain.requested and pending:
+                for p in pending:
+                    outcomes[p.key].skipped = True
+                log.info("pool: drain requested (%s) — %d pending task(s) "
+                         "skipped, %d in flight finishing",
+                         drain.signal_name(), len(pending), len(running))
+                events.emit("pool_drain", signal=drain.signal_name(),
+                            skipped=len(pending), in_flight=len(running))
+                metrics.inc("repro.pool.drained_tasks", len(pending))
+                pending.clear()
             now = time.monotonic()
             while len(running) < policy.workers:
                 i = next((j for j, p in enumerate(pending)

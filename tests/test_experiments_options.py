@@ -1,40 +1,26 @@
-"""Tests of the unified sweep/point option API and its deprecation shims.
+"""Tests of the unified sweep/point option API.
 
 Covers the :class:`SweepOptions` / :class:`PointPolicy` contracts
 (frozen, validated at construction, correct ``plain`` fast-path
-detection), the keyword-merging rules, and — the compatibility
-promise — that every deprecated entry point still returns exactly what
-its replacement returns while warning exactly once per call.
+detection), that options thread through to sweeps, and — now that the
+PR-4 deprecation cycle has completed — that the legacy entry points and
+keyword forms are genuinely *gone*: the shims must not quietly come
+back, and a stale call site must fail loudly, not silently diverge.
 """
 
 import dataclasses
-import warnings
 
 import pytest
 
+import repro.experiments as experiments
+import repro.experiments.options as options_mod
+import repro.experiments.runner as runner_mod
 from repro.errors import ConfigurationError
 from repro.experiments.figures import figure_series
-from repro.experiments.options import (
-    PointPolicy,
-    SweepOptions,
-    merge_deprecated_kwargs,
-)
-from repro.experiments.runner import (
-    run_point,
-    run_point_analytic,
-    run_point_resilient,
-    sweep,
-)
+from repro.experiments.options import PointPolicy, SweepOptions
+from repro.experiments.runner import run_point, sweep
 from repro.experiments.table3 import table3
 from repro.resilience import PointBudget
-
-
-def one_warning(record, needle):
-    assert len(record) == 1
-    w = record[0]
-    assert issubclass(w.category, DeprecationWarning)
-    assert needle in str(w.message)
-    return w
 
 
 class TestSweepOptions:
@@ -98,112 +84,56 @@ class TestPointPolicy:
             PointPolicy(chunk_size=-5)
 
 
-class TestMergeDeprecatedKwargs:
-    def test_no_kwargs_passes_options_through(self):
-        opts = SweepOptions(parallel=2)
-        assert merge_deprecated_kwargs("sweep", opts, {}) is opts
-        assert merge_deprecated_kwargs("sweep", None, {}) is None
+class TestLegacyAPIRemoved:
+    """The PR-4 deprecation shims completed their cycle: verify removal.
 
-    def test_legacy_kwargs_warn_once_and_merge(self):
-        with pytest.warns(DeprecationWarning, match="options=SweepOptions"
-                          ) as rec:
-            merged = merge_deprecated_kwargs(
-                "sweep", None, {"checkpoint": "c.jsonl", "parallel": 4})
-        assert len(rec) == 1
-        assert merged == SweepOptions(checkpoint="c.jsonl", parallel=4)
+    These assertions are load-bearing — if a refactor resurrects a shim
+    (e.g. via a stale ``__all__`` or a re-export), old call sites would
+    silently bypass the options API again.
+    """
 
-    def test_legacy_none_values_mean_defaults(self):
-        # Old call sites passed e.g. budget=None explicitly; that must
-        # merge to the field default, not break validation.
-        with pytest.warns(DeprecationWarning):
-            merged = merge_deprecated_kwargs(
-                "sweep", None, {"budget": None, "parallel": None})
-        assert merged == SweepOptions()
+    def test_shim_functions_are_gone(self):
+        for name in ("run_point_analytic", "run_point_resilient"):
+            assert not hasattr(runner_mod, name)
+            assert not hasattr(experiments, name)
+            assert name not in runner_mod.__all__
+            assert name not in experiments.__all__
 
-    def test_unknown_kwarg_is_a_typeerror(self):
-        with pytest.raises(TypeError, match="chunk_sizes"):
-            merge_deprecated_kwargs("sweep", None, {"chunk_sizes": 1})
+    def test_merge_helper_is_gone(self):
+        assert not hasattr(options_mod, "merge_deprecated_kwargs")
+        assert not hasattr(options_mod, "_LEGACY_SWEEP_KWARGS")
+        assert "merge_deprecated_kwargs" not in options_mod.__all__
 
-    def test_both_forms_rejected(self):
-        with pytest.raises(ConfigurationError, match="both options="):
-            merge_deprecated_kwargs("sweep", SweepOptions(),
-                                    {"parallel": 2})
+    @pytest.mark.parametrize("kwargs", [
+        dict(checkpoint="c.jsonl"), dict(budget=None), dict(parallel=2),
+        dict(point_timeout=1.0), dict(resume_force=True),
+        dict(chunk=64),  # never-valid keywords fail identically
+    ])
+    def test_sweep_rejects_legacy_kwargs(self, tiny_config, kwargs):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            sweep("JACOBI", ["Orig"], [40], tiny_config, **kwargs)
 
-    def test_bad_legacy_value_still_validated(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigurationError, match="parallel"):
-                merge_deprecated_kwargs("sweep", None, {"parallel": 0})
+    def test_table3_rejects_legacy_kwargs(self, tmp_path, tiny_config):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            table3(kernels=("JACOBI",), strategies=("GcdPad",),
+                   sizes=[40], cfg=tiny_config,
+                   checkpoint=tmp_path / "t3.jsonl")
 
+    def test_figure_series_rejects_legacy_kwargs(self, tmp_path,
+                                                 tiny_config):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            figure_series("JACOBI", sizes=[40], cfg=tiny_config,
+                          checkpoint=tmp_path / "f.jsonl")
 
-class TestShimEquivalence:
-    def test_run_point_analytic_shim(self, tiny_config):
-        with pytest.warns(DeprecationWarning,
-                          match="run_point_analytic") as rec:
-            old = run_point_analytic("JACOBI", "GcdPad", 40, tiny_config)
-        one_warning(rec, "PointPolicy(analytic=True)")
-        assert old == run_point("JACOBI", "GcdPad", 40, tiny_config,
-                                policy=PointPolicy(analytic=True))
-        assert old.degraded
-
-    def test_run_point_resilient_shim(self, tiny_config):
-        budget = PointBudget(max_refs=10)
-        with pytest.warns(DeprecationWarning,
-                          match="run_point_resilient") as rec:
-            old = run_point_resilient("JACOBI", "Orig", 40, tiny_config,
-                                      budget=budget)
-        one_warning(rec, "PointPolicy")
-        assert old == run_point("JACOBI", "Orig", 40, tiny_config,
-                                policy=PointPolicy(budget=budget))
-
-    def test_run_point_resilient_default_still_resilient(self, tiny_config):
-        # The legacy no-budget call always meant "default retry/degrade
-        # bounds", never the memoized path; the shim must preserve that.
-        from repro.resilience import faults
-        from repro.errors import RetryableError
-
-        inj = faults.FaultInjector(clock=faults.FakeClock())
-        inj.fail_on("simulate", 1, RetryableError("transient"))
-        with faults.inject(inj), pytest.warns(DeprecationWarning):
-            r = run_point_resilient("JACOBI", "Orig", 40, tiny_config)
-        assert not r.degraded
-        assert inj.calls("simulate") == 2
-
-    def test_sweep_legacy_kwargs(self, tmp_path, tiny_config):
-        ckpt = tmp_path / "c.jsonl"
-        with pytest.warns(DeprecationWarning, match=r"sweep\(") as rec:
-            old = sweep("JACOBI", ["Orig"], [40], tiny_config,
-                        checkpoint=ckpt)
-        assert len(rec) == 1
-        new = sweep("JACOBI", ["Orig"], [40], tiny_config,
-                    options=SweepOptions(checkpoint=ckpt))
-        assert old == new
-
-    def test_sweep_rejects_mixed_forms(self, tmp_path, tiny_config):
-        with pytest.raises(ConfigurationError, match="both options="):
-            sweep("JACOBI", ["Orig"], [40], tiny_config,
-                  options=SweepOptions(), parallel=2)
-
-    def test_sweep_rejects_unknown_kwargs(self, tiny_config):
-        with pytest.raises(TypeError, match="chunk"):
-            sweep("JACOBI", ["Orig"], [40], tiny_config, chunk=64)
-
-    def test_table3_legacy_kwargs(self, tmp_path, tiny_config):
-        ckpt = tmp_path / "t3.jsonl"
-        kwargs = dict(kernels=("JACOBI",), strategies=("GcdPad",),
-                      sizes=[40], cfg=tiny_config)
-        with pytest.warns(DeprecationWarning, match="table3"):
-            old = table3(checkpoint=ckpt, **kwargs)
-        new = table3(options=SweepOptions(checkpoint=ckpt), **kwargs)
-        assert old.summaries == new.summaries
-
-    def test_figure_series_legacy_kwargs(self, tmp_path, tiny_config):
-        with pytest.warns(DeprecationWarning, match="figure_series"):
-            old = figure_series("JACOBI", sizes=[40], cfg=tiny_config,
-                                checkpoint=tmp_path / "f.jsonl")
-        new = figure_series("JACOBI", sizes=[40], cfg=tiny_config,
-                            options=SweepOptions(
-                                checkpoint=tmp_path / "f.jsonl"))
-        assert old == new
+    def test_replacement_path_works(self, tiny_config):
+        # The replacements the shim warnings pointed at, still live.
+        analytic = run_point("JACOBI", "GcdPad", 40, tiny_config,
+                             policy=PointPolicy(analytic=True))
+        assert analytic.degraded
+        budgeted = run_point("JACOBI", "Orig", 40, tiny_config,
+                             policy=PointPolicy(
+                                 budget=PointBudget(max_refs=10)))
+        assert budgeted.degraded  # 10 refs can't finish an exact point
 
 
 class TestOptionsThreadThrough:

@@ -1,0 +1,232 @@
+"""Tests for ``repro fsck`` — eager verify/repair of durable artifacts."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import FsckError
+from repro.perf.store import PointStore
+from repro.resilience import CheckpointJournal
+from repro.resilience.fsck import fsck_journal, fsck_path, fsck_store
+from repro.resilience.integrity import QUARANTINE_DIR, attach_crc
+
+
+FP = "fsck-test-fp"
+
+
+def make_journal(path, n_points=3):
+    j = CheckpointJournal.open(path, FP)
+    for i in range(n_points):
+        j.record(("K", i), {"x": i})
+    return j
+
+
+def mangle_line(path, lineno, new_text):
+    lines = path.read_text().splitlines()
+    lines[lineno] = new_text
+    path.write_text("\n".join(lines) + "\n")
+
+
+def flip_payload(path, lineno):
+    """Change a record's content without refreshing its crc."""
+    lines = path.read_text().splitlines()
+    rec = json.loads(lines[lineno])
+    rec["payload"]["x"] = 999
+    lines[lineno] = json.dumps(rec)
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestFsckJournal:
+    def test_clean_journal_is_ok(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        report = fsck_journal(path)
+        assert report.ok and not report.repaired
+        assert report.counts == {"ok": 4}  # header + 3 records
+        assert "clean" in report.render()
+
+    def test_crc_mismatch_reported_per_record(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        flip_payload(path, 2)
+        report = fsck_journal(path)
+        assert not report.ok
+        assert report.counts == {"ok": 3, "damaged": 1}
+        bad = [f for f in report.findings if f.status == "damaged"]
+        assert bad[0].where == "line 3"
+        assert "checksum" in bad[0].detail
+
+    def test_unparseable_line_reported(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        mangle_line(path, 1, "!!! not json")
+        report = fsck_journal(path)
+        assert not report.ok
+        assert report.counts["damaged"] == 1
+
+    def test_repair_quarantines_and_rewrites_good_records(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        flip_payload(path, 2)
+        report = fsck_journal(path, repair=True)
+        assert report.repaired and not report.ok  # damage found -> gate CI
+        assert report.counts == {"ok": 3, "repaired": 1}
+        # The damaged original is held as evidence...
+        qdir = tmp_path / QUARANTINE_DIR
+        assert any(not q.name.endswith(".meta.json")
+                   for q in qdir.iterdir())
+        # ...and the rewritten journal verifies clean and resumes.
+        assert fsck_journal(path).ok
+        j = CheckpointJournal.open(path, FP)
+        assert j.get(("K", 0)) == {"x": 0}
+        assert j.get(("K", 2)) == {"x": 2}
+        assert j.get(("K", 1)) is None  # the damaged record was dropped
+
+    def test_missing_header_is_fatal_and_unrepaired(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps(
+            attach_crc({"kind": "point", "v": 3, "key": ["K", 1],
+                        "payload": {}})) + "\n")
+        report = fsck_journal(path, repair=True)
+        assert not report.ok and report.fatal
+        assert not report.repaired  # nothing trustworthy to rebuild from
+        assert path.exists()
+
+    def test_newer_version_is_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps(
+            {"kind": "header", "version": 99, "fingerprint": FP}) + "\n")
+        report = fsck_journal(path)
+        assert not report.ok and "newer" in report.fatal
+
+    def test_legacy_journal_is_clean_but_flagged(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        lines = [json.dumps({"kind": "header", "version": 1,
+                             "fingerprint": FP}),
+                 json.dumps({"kind": "point", "key": ["K", 1],
+                             "payload": {"x": 1}})]
+        path.write_text("\n".join(lines) + "\n")
+        report = fsck_journal(path)
+        assert report.ok  # legacy is readable, not damage
+        assert report.counts == {"legacy": 2}
+
+    def test_orphan_tmp_reported_and_removed_on_repair(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        orphan = tmp_path / "j.jsonl.1234.tmp"
+        orphan.write_text("half a write")
+        report = fsck_journal(path)
+        assert not report.ok and report.counts["orphan"] == 1
+        assert orphan.exists()  # verify is read-only
+        fsck_journal(path, repair=True)
+        assert not orphan.exists()
+
+    def test_unreadable_target_is_fatal(self, tmp_path):
+        report = fsck_journal(tmp_path)  # a directory, via fsck_journal
+        assert report.fatal is not None
+
+
+class TestFsckStore:
+    def _seed(self, tmp_path, n=3):
+        store = PointStore(tmp_path / "store")
+        for i in range(n):
+            store.put(FP, ("K", "S", i), {"x": i})
+        return store
+
+    def test_clean_store_is_ok(self, tmp_path):
+        self._seed(tmp_path)
+        report = fsck_store(tmp_path / "store")
+        assert report.ok
+        assert report.counts == {"ok": 3}
+
+    def test_corrupt_entry_detected_and_repaired(self, tmp_path):
+        store = self._seed(tmp_path)
+        victim = store._entry_path(FP, ("K", "S", 1))
+        entry = json.loads(victim.read_text())
+        entry["payload"]["x"] = 999  # stale crc
+        victim.write_text(json.dumps(entry))
+        report = fsck_store(store.root)
+        assert not report.ok and report.counts["damaged"] == 1
+        assert victim.exists()  # verify is read-only
+
+        repaired = fsck_store(store.root, repair=True)
+        assert repaired.repaired
+        assert not victim.exists()
+        assert (store.root / QUARANTINE_DIR).is_dir()
+        # Post-repair the store verifies clean (quarantine held aside).
+        assert fsck_store(store.root).ok
+
+    def test_truncated_entry_detected(self, tmp_path):
+        store = self._seed(tmp_path)
+        victim = store._entry_path(FP, ("K", "S", 0))
+        victim.write_text(victim.read_text()[: victim.stat().st_size // 2])
+        report = fsck_store(store.root)
+        assert not report.ok
+        assert any("unparseable" in f.detail for f in report.findings)
+
+    def test_legacy_v1_entry_flagged_not_damaged(self, tmp_path):
+        store = self._seed(tmp_path, n=1)
+        victim = store._entry_path(FP, ("K", "S", 0))
+        entry = json.loads(victim.read_text())
+        entry.pop("crc")
+        entry["v"] = 1
+        victim.write_text(json.dumps(entry))
+        report = fsck_store(store.root)
+        assert report.ok
+        assert report.counts == {"legacy": 1}
+
+    def test_quarantined_artifacts_are_reported_held(self, tmp_path):
+        store = self._seed(tmp_path)
+        victim = store._entry_path(FP, ("K", "S", 2))
+        victim.write_text("{broken")
+        assert store.get(FP, ("K", "S", 2)) is None  # lazily quarantined
+        report = fsck_store(store.root)
+        assert report.ok
+        held = [f for f in report.findings if f.where == QUARANTINE_DIR]
+        assert held and "1 previously quarantined" in held[0].detail
+
+    def test_orphan_tmp_in_store(self, tmp_path):
+        store = self._seed(tmp_path, n=1)
+        sub = next(d for d in store.root.iterdir() if d.is_dir())
+        (sub / "entry.json.99.tmp").write_text("torn")
+        report = fsck_store(store.root)
+        assert not report.ok and report.counts["orphan"] == 1
+        fsck_store(store.root, repair=True)
+        assert not (sub / "entry.json.99.tmp").exists()
+
+
+class TestDispatchAndCli:
+    def test_dispatch_on_shape(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        PointStore(tmp_path / "store").put(FP, ("K",), {"x": 1})
+        assert fsck_path(path).kind == "journal"
+        assert fsck_path(tmp_path / "store").kind == "store"
+
+    def test_dispatch_missing_target(self, tmp_path):
+        with pytest.raises(FsckError, match="no such"):
+            fsck_path(tmp_path / "nope")
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        path = tmp_path / "j.jsonl"
+        make_journal(path)
+        assert main(["fsck", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+        flip_payload(path, 1)
+        assert main(["fsck", str(path)]) == 1  # damage gates CI
+        assert main(["fsck", str(path), "--repair"]) == 1  # found damage
+        assert main(["fsck", str(path)]) == 0  # now actually clean
+
+    def test_cli_missing_target_is_usage_error(self, tmp_path, capsys):
+        assert main(["fsck", str(tmp_path / "nope")]) == 2
+        assert "no such" in capsys.readouterr().err
+
+    def test_cli_show_ok_lists_every_record(self, tmp_path, capsys):
+        path = tmp_path / "j.jsonl"
+        make_journal(path, n_points=2)
+        main(["fsck", str(path), "--show-ok"])
+        out = capsys.readouterr().out
+        assert out.count("ok") >= 3  # header + 2 records

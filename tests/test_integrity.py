@@ -1,0 +1,116 @@
+"""Tests for record checksums and quarantine-with-provenance."""
+
+import json
+
+import pytest
+
+from repro.resilience.integrity import (
+    QUARANTINE_DIR,
+    attach_crc,
+    quarantine_file,
+    record_crc,
+    verify_crc,
+)
+
+
+class TestRecordCrc:
+    def test_deterministic_and_key_order_independent(self):
+        a = {"x": 1, "y": [2, 3], "z": {"k": "v"}}
+        b = {"z": {"k": "v"}, "y": [2, 3], "x": 1}
+        assert record_crc(a) == record_crc(b)
+        assert len(record_crc(a)) == 8
+        int(record_crc(a), 16)  # 8 lowercase hex digits
+
+    def test_value_sensitive(self):
+        assert record_crc({"x": 1}) != record_crc({"x": 2})
+        assert record_crc({"x": 1}) != record_crc({"y": 1})
+
+    def test_crc_field_excluded_from_digest(self):
+        body = {"x": 1}
+        assert record_crc(body) == record_crc({**body, "crc": "deadbeef"})
+
+    def test_survives_json_roundtrip(self):
+        body = attach_crc({"key": ["JACOBI", "Orig", 40],
+                           "payload": {"mflops": 123.456, "tile": None}})
+        back = json.loads(json.dumps(body))
+        assert verify_crc(back)
+
+    def test_non_json_values_stringified(self):
+        # default=repr keeps exotic values checksummable rather than
+        # crashing the durability layer.
+        assert record_crc({"p": object()})  # no raise
+
+
+class TestAttachVerify:
+    def test_roundtrip(self):
+        body = attach_crc({"kind": "point", "v": 3, "key": ["K", 1]})
+        assert verify_crc(body)
+
+    def test_attach_replaces_stale_crc(self):
+        body = attach_crc({"x": 1})
+        body["x"] = 2
+        assert not verify_crc(body)
+        assert verify_crc(attach_crc(body))
+
+    def test_tamper_detected(self):
+        body = attach_crc({"key": ["K", 1], "payload": {"refs": 100}})
+        body["payload"]["refs"] = 101
+        assert not verify_crc(body)
+
+    def test_missing_or_malformed_crc_fails(self):
+        assert not verify_crc({"x": 1})
+        assert not verify_crc({"x": 1, "crc": None})
+        assert not verify_crc({"x": 1, "crc": 12345678})
+
+
+class TestQuarantine:
+    def test_moves_file_with_provenance_sidecar(self, tmp_path):
+        victim = tmp_path / "entry.json"
+        victim.write_text("{corrupt")
+        moved = quarantine_file(victim, reason="checksum mismatch",
+                                artifact="store", root=tmp_path)
+        assert moved is not None
+        assert not victim.exists()
+        assert moved.parent == tmp_path / QUARANTINE_DIR
+        assert moved.read_text() == "{corrupt"  # evidence preserved
+        meta = json.loads(
+            moved.with_name(moved.name + ".meta.json").read_text())
+        assert meta["reason"] == "checksum mismatch"
+        assert meta["artifact"] == "store"
+        assert meta["original_path"] == str(victim)
+        assert isinstance(meta["pid"], int)
+        assert meta["quarantined_at"] > 0
+
+    def test_default_root_is_parent(self, tmp_path):
+        victim = tmp_path / "sub" / "j.jsonl"
+        victim.parent.mkdir()
+        victim.write_text("x")
+        moved = quarantine_file(victim, reason="r", artifact="journal")
+        assert moved.parent == tmp_path / "sub" / QUARANTINE_DIR
+
+    def test_vanished_file_returns_none(self, tmp_path):
+        assert quarantine_file(tmp_path / "gone.json", reason="r",
+                               artifact="store") is None
+
+    def test_repeated_quarantines_never_collide(self, tmp_path):
+        names = set()
+        for _ in range(3):
+            victim = tmp_path / "entry.json"
+            victim.write_text("bad")
+            moved = quarantine_file(victim, reason="r", artifact="store",
+                                    root=tmp_path)
+            names.add(moved.name)
+        assert len(names) == 3
+
+    def test_counts_quarantine_metric(self, tmp_path):
+        from repro.obs import metrics
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        victim = tmp_path / "e.json"
+        victim.write_text("bad")
+        with metrics.collect(reg):
+            quarantine_file(victim, reason="r", artifact="store",
+                            root=tmp_path)
+        assert reg.counter_total("repro.integrity.quarantined",
+                                 artifact="store") == 1

@@ -6,7 +6,8 @@ import pytest
 
 from repro.cli import main
 from repro.experiments import runner
-from repro.obs.report import read_events, read_metrics, summarize
+from repro.obs.report import (format_report, read_events, read_metrics,
+                              summarize)
 
 
 @pytest.fixture
@@ -122,6 +123,35 @@ class TestQuietRun:
         assert resumes and resumes[0]["points"] == 18
         s = summarize(events)
         assert s.journal_hits == 18 and s.simulations == 0
+
+
+class TestIntegrityLine:
+    """summarize/format_report surface the repro.integrity.* signals."""
+
+    def test_summarize_counts_quarantines_and_crc_failures(self):
+        events = [{"kind": "integrity_quarantine", "artifact": "store",
+                   "reason": "payload validation"},
+                  {"kind": "integrity_quarantine", "artifact": "journal",
+                   "reason": "crc mismatch"}]
+        metrics = {"counters": [
+            {"name": "repro.integrity.crc_failures",
+             "labels": {"artifact": "journal"}, "value": 3},
+            {"name": "repro.integrity.crc_failures",
+             "labels": {"artifact": "store"}, "value": 1},
+        ]}
+        s = summarize(events, metrics)
+        assert s.integrity_quarantined == 2
+        assert s.crc_failures == 4
+        out = format_report(s)
+        assert ("integrity: 4 checksum failures, "
+                "2 artifacts quarantined") in out
+        assert "repro fsck" in out
+
+    def test_clean_run_renders_no_integrity_line(self, artifacts, capsys):
+        ev, mx = artifacts
+        s = summarize(read_events(ev), read_metrics(mx))
+        assert s.integrity_quarantined == 0 and s.crc_failures == 0
+        assert "integrity:" not in format_report(s)
 
 
 def test_events_are_json_serializable_all_the_way(tmp_path):

@@ -280,3 +280,61 @@ class TestCacheAdmin:
         with faults.inject(inj):
             run_point(*KEY, tiny_config, policy=PointPolicy(store=store))
         assert inj.calls("simulate") > 0  # nothing served stale
+
+
+class TestPoisonedEntryRegression:
+    """A semantically invalid entry must be quarantined, not skipped.
+
+    Regression guard: an entry that parses and checksums but fails the
+    runner's payload validation used to be merely *skipped* — it stayed
+    on disk and re-read as a miss forever, because degraded
+    re-simulations are never stored and a healthy recompute writes the
+    same path only after the poisoned bytes are gone.
+    """
+
+    def test_store_lookup_quarantines_poisoned_entry(self, tmp_path,
+                                                     tiny_config):
+        from repro.experiments.runner import _store_lookup
+        from repro.resilience.integrity import QUARANTINE_DIR
+
+        store = PointStore(tmp_path / "cache")
+        fp = config_fingerprint(tiny_config)
+        store.put(fp, KEY, {"bogus": 1})  # checksums fine, wrong shape
+        path = store._entry_path(fp, KEY)
+        assert path.exists()
+        assert _store_lookup(store, fp, KEY) is None
+        assert not path.exists()  # the regression: it used to linger
+        metas = list((store.root / QUARANTINE_DIR).glob("*.meta.json"))
+        assert metas
+        assert "payload validation" in metas[0].read_text()
+
+    def test_wrong_identity_entry_quarantined(self, tmp_path, tiny_config):
+        from repro.experiments.runner import _store_lookup
+
+        store = PointStore(tmp_path / "cache")
+        fp = config_fingerprint(tiny_config)
+        honest = run_point(*KEY, tiny_config)
+        from dataclasses import asdict
+
+        other = ("RESID", "Pad", 48)
+        store.put(fp, other, asdict(honest))  # identity != key
+        assert _store_lookup(store, fp, other) is None
+        assert not store._entry_path(fp, other).exists()
+
+    def test_poisoned_entry_replaced_by_next_run(self, tmp_path,
+                                                 tiny_config):
+        store = PointStore(tmp_path / "cache")
+        fp = config_fingerprint(tiny_config)
+        store.put(fp, KEY, {"bogus": 1})
+        res = run_point(*KEY, tiny_config, policy=PointPolicy(store=store))
+        assert not res.degraded
+        inj = faults.FaultInjector()
+        with faults.inject(inj):
+            again = run_point(*KEY, tiny_config,
+                              policy=PointPolicy(store=store))
+        assert inj.calls("simulate") == 0  # healthy entry now serves
+        assert again == res
+
+    def test_discard_missing_entry_is_noop(self, tmp_path):
+        store = PointStore(tmp_path / "cache")
+        assert store.discard("fp", KEY, reason="r") is False

@@ -9,6 +9,7 @@ from repro.errors import (
     CheckpointError,
     ConfigurationError,
     RetryableError,
+    StorageError,
 )
 from repro.resilience import (
     CheckpointJournal,
@@ -18,6 +19,7 @@ from repro.resilience import (
     atomic_write_text,
     fingerprint,
     run_with_retries,
+    verify_crc,
 )
 from repro.resilience import faults
 
@@ -80,7 +82,9 @@ class TestJournal:
         lines = [json.loads(line) for line in path.read_text().splitlines()]
         assert lines[0]["kind"] == "header"
         assert lines[0]["fingerprint"] == self.FP
-        assert lines[1] == {"kind": "point", "v": 2, "key": ["K", 1],
+        crc = lines[1].pop("crc")
+        assert isinstance(crc, str) and len(crc) == 8
+        assert lines[1] == {"kind": "point", "v": 3, "key": ["K", 1],
                             "payload": {"v": 1}}
 
     def test_corrupt_trailing_line_recovered(self, tmp_path):
@@ -146,8 +150,8 @@ class TestJournalVersioning:
         j = CheckpointJournal.open(path, self.FP)
         assert j.get(("K", 1)) == {"x": 1}
         lines = [json.loads(line) for line in path.read_text().splitlines()]
-        assert lines[0]["version"] == 2
-        assert all(rec["v"] == 2 for rec in lines[1:])
+        assert lines[0]["version"] == 3
+        assert all(rec["v"] == 3 and "crc" in rec for rec in lines[1:])
 
     def test_vless_record_under_v2_header_migrates(self, tmp_path):
         path = tmp_path / "j.jsonl"
@@ -159,7 +163,61 @@ class TestJournalVersioning:
         j = CheckpointJournal.open(path, self.FP)
         assert j.get(("K", 1)) == {"x": 1}
         lines = [json.loads(line) for line in path.read_text().splitlines()]
-        assert lines[1]["v"] == 2
+        assert lines[1]["v"] == 3
+
+    def _write_v2(self, path, n=3):
+        """A journal exactly as PR 4 wrote it: v2, no checksums."""
+        lines = [json.dumps({"kind": "header", "version": 2,
+                             "fingerprint": self.FP})]
+        for i in range(n):
+            lines.append(json.dumps({"kind": "point", "v": 2,
+                                     "key": ["K", i],
+                                     "payload": {"x": i,
+                                                 "nested": {"f": 1.5}}}))
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_v2_journal_round_trips_to_v3(self, tmp_path):
+        """Lossless v2 -> v3: same payloads, now checksummed."""
+        path = tmp_path / "j.jsonl"
+        self._write_v2(path)
+        j = CheckpointJournal.open(path, self.FP)
+        for i in range(3):
+            assert j.get(("K", i)) == {"x": i, "nested": {"f": 1.5}}
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["version"] == 3 and verify_crc(lines[0])
+        assert all(rec["v"] == 3 and verify_crc(rec) for rec in lines[1:])
+        # A second open is a plain resume, not another migration.
+        j2 = CheckpointJournal.open(path, self.FP)
+        assert j2.get(("K", 2)) == {"x": 2, "nested": {"f": 1.5}}
+
+    def test_v1_journal_round_trips_and_extends(self, tmp_path):
+        """v1 -> v3 keeps old records usable next to newly written ones."""
+        path = tmp_path / "j.jsonl"
+        self._write_v1(path)
+        j = CheckpointJournal.open(path, self.FP)
+        j.record(("K", 2), {"x": 2})
+        j2 = CheckpointJournal.open(path, self.FP)
+        assert j2.get(("K", 1)) == {"x": 1}
+        assert j2.get(("K", 2)) == {"x": 2}
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert all(verify_crc(rec) for rec in lines)
+
+    @pytest.mark.parametrize("writer", ["_write_v1", "_write_v2"])
+    def test_migration_is_atomic_under_torn_write(self, tmp_path, writer):
+        """A crash mid-migration leaves the old journal byte-intact."""
+        path = tmp_path / "j.jsonl"
+        getattr(self, writer)(path)
+        before = path.read_bytes()
+        with faults.inject_io(f"torn_write:{path.name}"):
+            with pytest.raises(StorageError):
+                CheckpointJournal.open(path, self.FP)
+        assert path.read_bytes() == before
+        assert not list(tmp_path.glob("j.jsonl.*.tmp"))
+        # The next, unfaulted open migrates cleanly.
+        j = CheckpointJournal.open(path, self.FP)
+        assert j.get(("K", 1)) is not None
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["version"] == 3
 
     def test_newer_header_version_refused(self, tmp_path):
         path = tmp_path / "j.jsonl"
