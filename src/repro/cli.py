@@ -13,7 +13,10 @@ Exposes the library's main entry points without writing any Python:
     python -m repro cache info --point-cache DIR
     python -m repro fsck PATH [--repair]
     python -m repro bench compare OLD.json NEW.json
+    python -m repro bench trend BENCH_DIR [--gate PCT]
     python -m repro obs-report run.jsonl [--metrics metrics.json]
+    python -m repro runs list|show|gc --run-dir DIR
+    python -m repro watch RUN_DIR [--once]
 
 ``--full`` switches to the paper's sweep density (equivalent to setting
 ``REPRO_FULL=1``). The sweep commands (``table3``, ``figures``) accept
@@ -53,6 +56,15 @@ JSONL, ``--metrics PATH`` snapshots the metrics registry as JSON,
 (requires ``--log-json``), and ``-v``/``-q`` raise/lower stderr log
 verbosity. ``repro obs-report`` summarizes the artifacts afterwards.
 Tables and figures always go to stdout; diagnostics go to stderr.
+
+Run ledger: ``--run-dir DIR`` records the invocation under
+``DIR/<run_id>/`` — a CRC'd manifest (argv, config fingerprint,
+outcome, wall time, final metrics digest), the merged event trace
+(supervised pool workers trace into per-worker shards that are merged
+into one causally-linked timeline), the metrics snapshot, and a live
+``status.json`` that ``repro watch`` follows and ``--progress`` echoes
+to stderr. ``repro runs list|show|gc --run-dir DIR`` manages the
+ledger; ``repro obs-report DIR`` renders any historical run.
 """
 
 from __future__ import annotations
@@ -89,7 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "also enables the shadow miss classifier")
     g.add_argument("--profile", action="store_true",
                    help="attach per-phase tracemalloc peak memory to "
-                        "span-end events (requires --log-json)")
+                        "span-end events (requires --log-json or "
+                        "--run-dir)")
+    g.add_argument("--run-dir", metavar="DIR",
+                   help="record this invocation in a run ledger: "
+                        "DIR/<run_id>/ gets a CRC'd manifest (argv, "
+                        "outcome, metrics digest), the merged event "
+                        "trace, the metrics snapshot, and a live "
+                        "status.json; inspect with `repro runs` / "
+                        "`repro watch` / `repro obs-report DIR`")
+    g.add_argument("--progress", action="store_true",
+                   help="print a live progress line (done/total, "
+                        "throughput, ETA) to stderr while sweeping")
 
     p = argparse.ArgumentParser(
         prog="repro",
@@ -209,19 +232,27 @@ def build_parser() -> argparse.ArgumentParser:
                         parents=[obsopts])
 
     sp = sub.add_parser("bench",
-                        help="compare two BENCH_sweep.json reports",
+                        help="compare bench reports or trend a history "
+                             "of them",
                         parents=[logopts])
-    sp.add_argument("action", choices=["compare"],
-                    help="compare: per-point speedup of NEW over OLD")
-    sp.add_argument("old", metavar="OLD.json",
-                    help="baseline bench report (e.g. the checked-in "
-                         "BENCH_sweep.json)")
-    sp.add_argument("new", metavar="NEW.json",
-                    help="fresh bench report to compare against OLD")
+    sp.add_argument("action", choices=["compare", "trend"],
+                    help="compare: per-point speedup of NEW over OLD; "
+                         "trend: latest report in a directory vs the "
+                         "median of its predecessors")
+    sp.add_argument("old", metavar="OLD.json|DIR",
+                    help="baseline bench report (compare) or a "
+                         "directory of BENCH_*.json reports (trend)")
+    sp.add_argument("new", metavar="NEW.json", nargs="?",
+                    help="fresh bench report to compare against OLD "
+                         "(compare only)")
     sp.add_argument("--force", action="store_true",
                     help="compare even when the reports' config "
                          "fingerprints differ (different workloads; "
                          "speedups are then not meaningful)")
+    sp.add_argument("--gate", type=float, metavar="PCT",
+                    help="trend only: exit 1 when any point's latest "
+                         "time regresses more than PCT%% against the "
+                         "median of prior reports")
 
     sp = sub.add_parser("cache", help="inspect/empty a --point-cache store",
                         parents=[logopts])
@@ -246,15 +277,47 @@ def build_parser() -> argparse.ArgumentParser:
                     help="list healthy records too, not just problems")
 
     sp = sub.add_parser("obs-report",
-                        help="summarize a --log-json event file",
+                        help="summarize a --log-json event file or a "
+                             "ledgered run",
                         parents=[logopts])
-    sp.add_argument("events", metavar="EVENTS_JSONL",
-                    help="event file written by --log-json")
+    sp.add_argument("events", metavar="EVENTS_JSONL|RUN_DIR",
+                    help="event file written by --log-json, or a "
+                         "--run-dir run directory (its events + "
+                         "metrics are used)")
     sp.add_argument("--metrics", metavar="PATH",
                     help="metrics snapshot written by --metrics "
                          "(adds miss-classification tables)")
     sp.add_argument("--top", type=int, default=5,
                     help="how many slowest points to list (default 5)")
+
+    sp = sub.add_parser("runs",
+                        help="list/show/gc the runs in a --run-dir ledger",
+                        parents=[logopts])
+    sp.add_argument("action", choices=["list", "show", "gc"],
+                    help="list: one row per run; show: one run's "
+                         "manifest; gc: drop the oldest runs")
+    sp.add_argument("run", nargs="?", metavar="RUN_ID",
+                    help="run id (or run directory) for `show`; "
+                         "default: the latest run")
+    sp.add_argument("--run-dir", metavar="DIR", required=True,
+                    help="the run ledger directory")
+    sp.add_argument("--keep", type=int, default=20, metavar="N",
+                    help="gc: how many newest runs to keep (default 20)")
+
+    sp = sub.add_parser("watch",
+                        help="follow a run's live status until it ends",
+                        parents=[logopts])
+    sp.add_argument("run", metavar="RUN_DIR",
+                    help="a run directory (or a ledger directory: its "
+                         "latest run)")
+    sp.add_argument("--interval", type=float, default=1.0,
+                    metavar="SECONDS",
+                    help="poll interval (default 1s)")
+    sp.add_argument("--once", action="store_true",
+                    help="print the current status once and exit")
+    sp.add_argument("--timeout", type=float, metavar="SECONDS",
+                    help="give up (exit 1) if the run has not ended "
+                         "after SECONDS")
     return p
 
 
@@ -279,10 +342,12 @@ def _validate(args) -> None:
             if size <= 0:
                 raise ConfigurationError(
                     f"--n must be positive, got {size}")
-    if getattr(args, "profile", False) and not getattr(args, "log_json", None):
+    if getattr(args, "profile", False) \
+            and not getattr(args, "log_json", None) \
+            and not getattr(args, "run_dir", None):
         raise ConfigurationError(
             "--profile records memory peaks on span-end events; "
-            "it requires --log-json PATH")
+            "it requires --log-json PATH or --run-dir DIR")
     if args.command == "obs-report" and args.top <= 0:
         raise ConfigurationError(f"--top must be positive, got {args.top}")
     if args.command == "mgrid" and not 2 <= args.level <= 10:
@@ -323,6 +388,30 @@ def _validate(args) -> None:
         raise ConfigurationError(
             f"--chunk-size must be >= 0 (0 = unbounded), "
             f"got {args.chunk_size}")
+    if args.command == "bench":
+        if args.action == "compare" and not args.new:
+            raise ConfigurationError(
+                "bench compare needs two reports: OLD.json NEW.json")
+        if args.action == "trend" and args.new:
+            raise ConfigurationError(
+                "bench trend takes one directory of BENCH_*.json reports")
+        if args.gate is not None:
+            if args.action != "trend":
+                raise ConfigurationError("--gate applies to bench trend only")
+            if args.gate <= 0:
+                raise ConfigurationError(
+                    f"--gate must be a positive percentage, got {args.gate}")
+    if args.command == "runs":
+        if args.keep < 0:
+            raise ConfigurationError(
+                f"--keep must be >= 0, got {args.keep}")
+    if args.command == "watch":
+        if args.interval <= 0:
+            raise ConfigurationError(
+                f"--interval must be positive, got {args.interval}")
+        if args.timeout is not None and args.timeout <= 0:
+            raise ConfigurationError(
+                f"--timeout must be positive, got {args.timeout}")
 
 
 def _sweep_options(args):
@@ -383,16 +472,59 @@ def _run(argv: Sequence[str] | None = None) -> int:
         print(obs_report(args.events, args.metrics, top=args.top))
         return 0
 
+    if args.command == "runs":
+        from repro.obs import setup_cli_logging
+
+        setup_cli_logging(args.verbose, args.quiet)
+        return _runs(args)
+
+    if args.command == "watch":
+        from repro.obs import setup_cli_logging
+        from repro.obs.ledger import resolve_run
+        from repro.obs.status import watch
+
+        setup_cli_logging(args.verbose, args.quiet)
+        return watch(resolve_run(args.run), interval=args.interval,
+                     once=args.once, timeout=args.timeout)
+
     from repro import obs
 
-    cmd = " ".join(argv if argv is not None else sys.argv[1:])
+    full_argv = list(argv if argv is not None else sys.argv[1:])
+    cmd = " ".join(full_argv)
     with obs.session(log_json=getattr(args, "log_json", None),
                      metrics_path=getattr(args, "metrics", None),
                      profile=getattr(args, "profile", False),
                      verbose=getattr(args, "verbose", 0),
                      quiet=getattr(args, "quiet", 0),
-                     command=cmd or args.command):
+                     command=cmd or args.command,
+                     run_dir=getattr(args, "run_dir", None),
+                     argv=full_argv,
+                     progress=getattr(args, "progress", False)) as ses:
+        for name in ("checkpoint", "point_cache", "csv"):
+            value = getattr(args, name, None)
+            if value:
+                ses.artifacts[name] = str(value)
         return _dispatch(args)
+
+
+def _runs(args) -> int:
+    """``repro runs list|show|gc`` against one ledger directory."""
+    from repro.obs import ledger
+
+    if args.action == "list":
+        print(ledger.format_runs(ledger.list_runs(args.run_dir)))
+        return 0
+    if args.action == "show":
+        run = ledger.resolve_run(args.run or args.run_dir,
+                                 ledger_dir=args.run_dir)
+        manifest = ledger.read_manifest(run)
+        print(ledger.format_manifest(manifest))
+        return 1 if manifest.get("integrity") else 0
+    removed = ledger.gc_runs(args.run_dir, keep=args.keep)
+    print(f"removed {len(removed)} run(s), kept the newest {args.keep}")
+    for run_id in removed:
+        log.info("gc: removed run %s", run_id)
+    return 0
 
 
 def _dispatch(args) -> int:
@@ -478,11 +610,23 @@ def _dispatch(args) -> int:
     elif args.command == "bench":
         from repro.errors import ExperimentError
         from repro.perf.bench import (
+            bench_trend,
             compare_benchmarks,
             format_compare,
+            format_trend,
             read_bench,
+            read_bench_dir,
         )
 
+        if args.action == "trend":
+            trend = bench_trend(read_bench_dir(args.old))
+            print(format_trend(trend, gate=args.gate))
+            if args.gate is not None and any(
+                    row["regressed_pct"] is not None
+                    and row["regressed_pct"] > args.gate
+                    for row in trend["points"]):
+                return 1
+            return 0
         cmp = compare_benchmarks(read_bench(args.old), read_bench(args.new))
         if not cmp["fingerprint_match"] and not args.force:
             raise ExperimentError(

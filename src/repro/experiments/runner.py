@@ -641,7 +641,8 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
                     point_timeout: float | None,
                     chunk_size: int | None,
                     extrapolate: bool = False,
-                    drain: DrainState | None = None
+                    drain: DrainState | None = None,
+                    status=None,
                     ) -> dict[str, list[PointResult]]:
     """Run sweep points through the supervised process pool.
 
@@ -665,6 +666,8 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
                 metrics.inc("repro.runner.points", mode="journal")
                 events.emit("point", kernel=kernel, strategy=strategy, n=n,
                             degraded=results[key].degraded, source="journal")
+                if status is not None:
+                    status.point_done(degraded=results[key].degraded)
                 continue
             hit = (_store_lookup(store, fp, key)
                    if store is not None else None)
@@ -673,6 +676,8 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
                 metrics.inc("repro.runner.points", mode="store")
                 events.emit("point", kernel=kernel, strategy=strategy, n=n,
                             degraded=hit.degraded, source="store")
+                if status is not None:
+                    status.point_done(degraded=hit.degraded)
                 if journal is not None:
                     journal.record(key, _point_to_payload(hit))
                 continue
@@ -699,6 +704,9 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
         events.emit("point", kernel=key[0], strategy=key[1], n=key[2],
                     degraded=result.degraded,
                     source="quarantine" if quarantined else "worker")
+        if status is not None:
+            status.point_done(degraded=result.degraded,
+                              quarantined=quarantined)
         if journal is not None:
             journal.record(key, payload)
         if store is not None and not result.degraded:
@@ -710,7 +718,8 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
                  f"{point_timeout}s" if point_timeout else "none")
         outcomes = run_supervised(_pool_point_task, tasks, policy,
                                   validate=_check_payload, fallback=fallback,
-                                  on_result=on_result, drain=drain)
+                                  on_result=on_result, drain=drain,
+                                  span_name="point", observer=status)
         skipped = sum(1 for o in outcomes if o.skipped)
         if skipped:
             raise SweepInterrupted(
@@ -754,10 +763,16 @@ def sweep(kernel: str, strategies: list[str], sizes: list[int],
     code 130 at the CLI. A plain in-memory sweep keeps ordinary Ctrl-C
     behaviour.
     """
+    from repro.obs import context as obs_context
+    from repro.obs.status import StatusPublisher
+
     options = options or SweepOptions()
     cfg = cfg or ExperimentConfig()
     log.debug("sweep %s: %d strategies x %d sizes", kernel,
               len(strategies), len(sizes))
+    status = StatusPublisher.for_run(obs_context.current(),
+                                     total=len(strategies) * len(sizes),
+                                     kernel=kernel)
     with events.span("sweep", kernel=kernel, strategies=len(strategies),
                      sizes=len(sizes), parallel=options.parallel):
         use_parallel = options.parallel > 1
@@ -776,14 +791,17 @@ def sweep(kernel: str, strategies: list[str], sizes: list[int],
                     else contextlib.nullcontext(None))
         with drain_cm as drain:
             if use_parallel:
-                return _sweep_parallel(kernel, strategies, sizes, cfg,
-                                       journal=journal, store=store,
-                                       budget=options.budget,
-                                       workers=options.parallel,
-                                       point_timeout=options.point_timeout,
-                                       chunk_size=options.chunk_size,
-                                       extrapolate=options.extrapolate,
-                                       drain=drain)
+                out = _sweep_parallel(kernel, strategies, sizes, cfg,
+                                      journal=journal, store=store,
+                                      budget=options.budget,
+                                      workers=options.parallel,
+                                      point_timeout=options.point_timeout,
+                                      chunk_size=options.chunk_size,
+                                      extrapolate=options.extrapolate,
+                                      drain=drain, status=status)
+                if status is not None:
+                    status.finish()
+                return out
             budget = options.budget
             if options.point_timeout is not None and budget is None:
                 # Serial degradation of --point-timeout: no supervisor to
@@ -792,9 +810,6 @@ def sweep(kernel: str, strategies: list[str], sizes: list[int],
             policy = PointPolicy(budget=budget, journal=journal, store=store,
                                  chunk_size=options.chunk_size,
                                  extrapolate=options.extrapolate)
-            if policy.plain:
-                return {s: [run_point(kernel, s, n, cfg) for n in sizes]
-                        for s in strategies}
             results: dict[str, list[PointResult]] = {}
             completed = 0
             remaining = len(strategies) * len(sizes)
@@ -809,10 +824,15 @@ def sweep(kernel: str, strategies: list[str], sizes: list[int],
                             f"from the checkpoint)",
                             signum=drain.signum, completed=completed,
                             skipped=remaining)
-                    row.append(run_point(kernel, s, n, cfg, policy=policy))
+                    result = run_point(kernel, s, n, cfg, policy=policy)
+                    row.append(result)
                     completed += 1
                     remaining -= 1
+                    if status is not None:
+                        status.point_done(degraded=result.degraded)
                 results[s] = row
+            if status is not None:
+                status.finish()
             return results
 
 

@@ -68,7 +68,7 @@ from __future__ import annotations
 import contextlib
 import json
 import pathlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 __all__ = [
@@ -82,9 +82,31 @@ __all__ = [
     "inc",
     "set_gauge",
     "observe",
+    "percentile",
 ]
 
 _LabelKey = tuple[tuple[str, str], ...]
+
+#: Per-histogram bound on retained samples (first-N; runs here observe
+#: far fewer values than this, so percentiles are exact in practice).
+SAMPLE_CAP = 1024
+
+
+def percentile(values, q: float) -> float | None:
+    """Nearest-rank percentile of ``values`` (``q`` in 0..100).
+
+    ``None`` on an empty input. Nearest-rank (not interpolated) so the
+    result is always a value that actually occurred.
+    """
+    vals = sorted(values)
+    if not vals:
+        return None
+    if q <= 0:
+        return vals[0]
+    import math
+
+    rank = math.ceil(q / 100.0 * len(vals))
+    return vals[min(len(vals), max(1, rank)) - 1]
 
 
 @dataclass
@@ -109,22 +131,65 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """A lightweight summary: count / total / min / max."""
+    """A lightweight summary: count / total / min / max / percentiles.
+
+    Observed values are retained (up to :data:`SAMPLE_CAP`) so
+    :meth:`percentile` / :meth:`summary` can report p50/p90/p95; beyond
+    the cap the summary fields stay exact and percentiles describe the
+    first ``SAMPLE_CAP`` observations.
+    """
 
     count: int = 0
     total: float = 0.0
     min: float | None = None
     max: float | None = None
+    samples: list = field(default_factory=list)
 
     def observe(self, v: float) -> None:
         self.count += 1
         self.total += v
         self.min = v if self.min is None else min(self.min, v)
         self.max = v if self.max is None else max(self.max, v)
+        if len(self.samples) < SAMPLE_CAP:
+            self.samples.append(v)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank percentile over the retained samples."""
+        return percentile(self.samples, q)
+
+    def summary(self) -> dict:
+        """The report-ready digest: count/mean/p50/p90/p95/max."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 6),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p95": self.percentile(95),
+            "max": self.max,
+        }
+
+    def merge(self, other: "dict | Histogram") -> None:
+        """Fold another histogram (or its snapshot row) into this one."""
+        if isinstance(other, Histogram):
+            count, total = other.count, other.total
+            lo, hi, samples = other.min, other.max, other.samples
+        else:
+            count, total = int(other.get("count", 0)), other.get("total", 0.0)
+            lo, hi = other.get("min"), other.get("max")
+            samples = other.get("samples", [])
+        self.count += count
+        self.total += total
+        if lo is not None:
+            self.min = lo if self.min is None else min(self.min, lo)
+        if hi is not None:
+            self.max = hi if self.max is None else max(self.max, hi)
+        room = SAMPLE_CAP - len(self.samples)
+        if room > 0:
+            self.samples.extend(samples[:room])
 
 
 def _key(name: str, labels: dict) -> tuple[str, _LabelKey]:
@@ -173,7 +238,12 @@ class MetricsRegistry:
                    if n == name and want <= set(lk))
 
     def snapshot(self) -> dict:
-        """Stable JSON-serializable view of every metric."""
+        """Stable JSON-serializable view of every metric.
+
+        Histogram rows carry the summary fields plus ``p50/p90/p95``
+        and the retained ``samples`` (bounded by :data:`SAMPLE_CAP`) so
+        snapshots from worker processes merge losslessly.
+        """
 
         def rows(store, fields):
             out = []
@@ -183,13 +253,40 @@ class MetricsRegistry:
                             **{f: getattr(m, f) for f in fields}})
             return out
 
+        hists = rows(self._histograms, ("count", "total", "min", "max"))
+        for row, (name, lk) in zip(hists, sorted(self._histograms)):
+            h = self._histograms[(name, lk)]
+            row["p50"] = h.percentile(50)
+            row["p90"] = h.percentile(90)
+            row["p95"] = h.percentile(95)
+            row["samples"] = [round(v, 6) for v in h.samples]
         return {
             "v": 1,
             "counters": rows(self._counters, ("value",)),
             "gauges": rows(self._gauges, ("value",)),
-            "histograms": rows(self._histograms,
-                               ("count", "total", "min", "max")),
+            "histograms": hists,
         }
+
+    #: Counters whose canonical writer is the supervisor (it counts
+    #: every *accepted* point exactly once in ``on_result``); worker
+    #: snapshots of these would double-count and are skipped on merge.
+    MERGE_SKIP = frozenset({"repro.runner.points"})
+
+    def merge(self, snap: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add; histograms merge their summaries and samples;
+        gauges are skipped (point-in-time values are only meaningful on
+        the node that set them). Used to absorb pool-worker metric
+        shards into the supervisor's registry.
+        """
+        for row in snap.get("counters", []):
+            if row.get("name") in self.MERGE_SKIP:
+                continue
+            self.counter(row["name"], **row.get("labels", {})).inc(
+                int(row.get("value", 0)))
+        for row in snap.get("histograms", []):
+            self.histogram(row["name"], **row.get("labels", {})).merge(row)
 
     def to_json(self) -> str:
         return json.dumps(self.snapshot(), indent=2, sort_keys=False)

@@ -57,6 +57,11 @@ def read_events(path: str | pathlib.Path) -> list[dict]:
                 f"{path} is corrupt at line {i + 1} "
                 f"(not the trailing line): {exc}") from None
         events.append(obj)
+    if not events:
+        # Empty, or its only line was truncated damage: either way
+        # there is nothing to report on, and exit 2 beats a blank page.
+        raise ExperimentError(
+            f"{path} contains no event records (empty or fully truncated)")
     return events
 
 
@@ -109,6 +114,8 @@ class RunSummary:
     shared_sort_hits: int = 0
     #: (kernel, strategy, n, dur_s, refs) of the slowest simulations.
     slowest: list[tuple] = field(default_factory=list)
+    #: p50/p90/p95 over every ``simulate`` span duration.
+    sim_percentiles: dict[str, float] = field(default_factory=dict)
     #: span name -> peak tracemalloc KiB (only when profiled).
     mem_peaks: dict[str, float] = field(default_factory=dict)
     #: level -> {cls: count} from the metrics snapshot.
@@ -135,11 +142,17 @@ def summarize(events: list[dict], metrics: dict | None = None,
                 s.wall_s = dur
                 s.command = str(ev.get("command", s.command))
             elif name == "point":
-                s.points += 1
-                if ev.get("degraded"):
-                    s.degraded += 1
-                if ev.get("source") == "journal":
-                    s.journal_hits += 1
+                if ev.get("supervised"):
+                    # A pool task's launch→terminal umbrella span; the
+                    # supervisor's plain ``point`` event stays the one
+                    # canonical count for that point.
+                    pass
+                else:
+                    s.points += 1
+                    if ev.get("degraded"):
+                        s.degraded += 1
+                    if ev.get("source") == "journal":
+                        s.journal_hits += 1
             elif name == "simulate":
                 s.simulations += 1
                 refs = int(ev.get("refs", 0))
@@ -185,6 +198,13 @@ def summarize(events: list[dict], metrics: dict | None = None,
         elif kind == "integrity_quarantine":
             s.integrity_quarantined += 1
     s.slowest = sorted(sims, key=lambda t: -t[3])[:top]
+    if sims:
+        from repro.obs.metrics import percentile
+
+        durs = [t[3] for t in sims]
+        s.sim_percentiles = {q: percentile(durs, p)
+                             for q, p in (("p50", 50), ("p90", 90),
+                                          ("p95", 95))}
 
     if metrics:
         for row in metrics.get("counters", []):
@@ -268,6 +288,11 @@ def format_report(s: RunSummary) -> str:
         parts.append(format_table(
             ["Kernel", "Strategy", "N", "seconds", "refs"], rows,
             title="Slowest simulated points"))
+    if s.sim_percentiles:
+        parts.append(
+            "simulate durations: "
+            + "  ".join(f"{q} {v:.3f}s"
+                        for q, v in s.sim_percentiles.items()))
 
     if s.miss_classes:
         from repro.cache.classify import MISS_CLASSES
@@ -305,7 +330,21 @@ def format_report(s: RunSummary) -> str:
 def obs_report(events_path: str | pathlib.Path,
                metrics_path: str | pathlib.Path | None = None,
                top: int = 5) -> str:
-    """End-to-end: read files, summarize, render."""
+    """End-to-end: read files, summarize, render.
+
+    ``events_path`` may also be a ledgered run directory (or a ledger
+    directory — its latest run is picked): the run's own
+    ``events.jsonl`` / ``metrics.json`` are used, so any historical
+    run renders with one argument.
+    """
+    events_path = pathlib.Path(events_path)
+    if events_path.is_dir():
+        from repro.obs.ledger import resolve_run
+
+        run = resolve_run(events_path)
+        events_path = run / "events.jsonl"
+        if metrics_path is None and (run / "metrics.json").exists():
+            metrics_path = run / "metrics.json"
     events = read_events(events_path)
     metrics = read_metrics(metrics_path) if metrics_path else None
     return format_report(summarize(events, metrics, top=top))

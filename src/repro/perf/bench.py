@@ -33,13 +33,15 @@ import math
 import pathlib
 import platform
 import sys
+import time
 from typing import Sequence
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.perf.timing import best_of
 
 __all__ = ["bench_point", "bench_sweep", "write_bench", "read_bench",
-           "compare_benchmarks", "format_compare", "main"]
+           "compare_benchmarks", "format_compare", "read_bench_dir",
+           "bench_trend", "format_trend", "main"]
 
 _SCHEMA_VERSION = 1
 
@@ -141,6 +143,7 @@ def bench_sweep(kernels: Sequence[str] = DEFAULT_KERNELS,
     return {
         "v": _SCHEMA_VERSION,
         "fingerprint": config_fingerprint(cfg),
+        "created": time.time(),
         "repeats": repeats,
         "host": {
             "python": platform.python_version(),
@@ -256,6 +259,114 @@ def format_compare(cmp: dict) -> str:
     return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# trend over a history of reports (``repro bench trend DIR [--gate]``)
+# ----------------------------------------------------------------------
+
+def read_bench_dir(directory, pattern: str = "BENCH_*.json") -> list[dict]:
+    """Every bench report under ``directory``, oldest first.
+
+    Ordered by each report's ``created`` stamp (falling back to file
+    mtime for pre-stamp reports), so the last element is the newest
+    run — the one :func:`bench_trend` judges.
+    """
+    from repro.errors import ExperimentError
+
+    d = pathlib.Path(directory)
+    if not d.is_dir():
+        raise ExperimentError(f"no such bench directory: {d}")
+    paths = sorted(d.glob(pattern))
+    if not paths:
+        raise ExperimentError(
+            f"{d} contains no bench reports (pattern {pattern!r})")
+    reports = []
+    for p in paths:
+        report = read_bench(p)
+        report.setdefault("created", p.stat().st_mtime)
+        report["_path"] = str(p)
+        reports.append(report)
+    reports.sort(key=lambda r: r["created"])
+    return reports
+
+
+def bench_trend(reports: list[dict]) -> dict:
+    """Judge the newest report against the median of its predecessors.
+
+    Per point (matched on kernel/strategy/n/nk): the latest
+    ``end_to_end_seconds`` vs the median over all prior reports that
+    have that point. ``regressed_pct`` is positive when the latest run
+    is *slower* than the median (the robust baseline — one historical
+    outlier cannot move it much); ``None`` with fewer than two reports
+    or no history for the point.
+    """
+    from statistics import median
+
+    from repro.errors import ExperimentError
+
+    if not reports:
+        raise ExperimentError("bench trend needs at least one report")
+    latest, priors = reports[-1], reports[:-1]
+    history: dict[tuple, list[float]] = {}
+    for rep in priors:
+        for pt in rep["points"]:
+            secs = pt.get("end_to_end_seconds")
+            if isinstance(secs, (int, float)) and secs > 0:
+                history.setdefault(_point_key(pt), []).append(float(secs))
+    rows = []
+    for pt in latest["points"]:
+        key = _point_key(pt)
+        secs = float(pt.get("end_to_end_seconds") or 0.0)
+        base = median(history[key]) if key in history else None
+        rows.append({
+            "kernel": key[0], "strategy": key[1], "n": key[2], "nk": key[3],
+            "latest_seconds": secs,
+            "median_seconds": base,
+            "history": len(history.get(key, [])),
+            "regressed_pct": (round((secs - base) / base * 100.0, 1)
+                              if base and secs else None),
+        })
+    fingerprints = {r.get("fingerprint") for r in reports}
+    return {
+        "reports": len(reports),
+        "latest_path": latest.get("_path"),
+        "fingerprint_stable": len(fingerprints) == 1,
+        "points": rows,
+    }
+
+
+def format_trend(trend: dict, gate: float | None = None) -> str:
+    """Human-readable rendering of a :func:`bench_trend` result."""
+    lines = []
+    if trend["reports"] < 2:
+        lines.append("note: only one report in the history — nothing to "
+                     "trend against yet")
+    if not trend["fingerprint_stable"]:
+        lines.append("WARNING: config fingerprints drift across the "
+                     "history — deltas mix workload and perf changes")
+    lines.append(f"trend over {trend['reports']} report(s); "
+                 f"latest: {trend.get('latest_path') or '?'}")
+    lines.append(f"{'kernel':8s} {'strategy':8s} {'N':>4s}  "
+                 f"{'latest s':>9s}  {'median s':>9s}  {'hist':>4s}  "
+                 f"{'delta':>8s}")
+    worst = None
+    for r in sorted(trend["points"],
+                    key=lambda r: (r["kernel"], r["strategy"], r["n"])):
+        base = (f"{r['median_seconds']:.3f}"
+                if r["median_seconds"] is not None else "-")
+        pct = r["regressed_pct"]
+        delta = f"{pct:+.1f}%" if pct is not None else "n/a"
+        if pct is not None and (worst is None or pct > worst):
+            worst = pct
+        lines.append(f"{r['kernel']:8s} {r['strategy']:8s} {r['n']:>4d}  "
+                     f"{r['latest_seconds']:>9.3f}  {base:>9s}  "
+                     f"{r['history']:>4d}  {delta:>8s}")
+    if gate is not None and worst is not None:
+        verdict = ("REGRESSION" if worst > gate else "ok")
+        lines.append(f"gate {gate:.0f}%: worst delta {worst:+.1f}% "
+                     f"-> {verdict}")
+    return "\n".join(lines)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     p = argparse.ArgumentParser(
         prog="python -m repro.perf.bench",
@@ -273,15 +384,26 @@ def main(argv: Sequence[str] | None = None) -> int:
                    help="best-of repeats per timing (default 3)")
     p.add_argument("--out", metavar="PATH", default="BENCH_sweep.json",
                    help="output path (default BENCH_sweep.json)")
+    p.add_argument("--run-dir", metavar="DIR",
+                   help="record this bench invocation in a run ledger "
+                        "(manifest + outcome; the report path is "
+                        "registered as an artifact)")
     args = p.parse_args(argv)
     if args.repeats < 1:
         p.error(f"--repeats must be >= 1, got {args.repeats}")
 
-    report = bench_sweep(kernels=tuple(args.kernel or DEFAULT_KERNELS),
-                         strategies=tuple(args.strategy or DEFAULT_STRATEGIES),
-                         sizes=tuple(args.n or (96,)),
-                         repeats=args.repeats)
-    out = write_bench(report, args.out)
+    from repro import obs
+
+    argv_list = list(argv if argv is not None else sys.argv[1:])
+    with obs.session(command="perf.bench " + " ".join(argv_list),
+                     run_dir=args.run_dir, argv=argv_list) as ses:
+        report = bench_sweep(
+            kernels=tuple(args.kernel or DEFAULT_KERNELS),
+            strategies=tuple(args.strategy or DEFAULT_STRATEGIES),
+            sizes=tuple(args.n or (96,)),
+            repeats=args.repeats)
+        out = write_bench(report, args.out)
+        ses.artifacts["bench"] = str(out)
     for pt in report["points"]:
         print(f"{pt['kernel']:8s} {pt['strategy']:8s} N={pt['n']:<4d} "
               f"trace {pt['trace_seconds']:.3f}s  "

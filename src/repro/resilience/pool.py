@@ -140,18 +140,23 @@ class TaskOutcome:
 # worker side
 # ----------------------------------------------------------------------
 
-def _worker_main(conn, fn, args, fault, heartbeat_seconds) -> None:
+def _worker_main(conn, fn, args, fault, heartbeat_seconds,
+                 obs_spec=None) -> None:
     """Child-process entry: run ``fn(args)``, stream heartbeats + result.
 
     The pipe is the only channel back; sends are serialized by a lock
     because the heartbeat thread shares the connection. Inherited
     observability state (a forked parent's live event bus / metrics
-    registry) is disabled first — the supervisor is the single writer
-    of run artifacts.
+    registry) is replaced first: with an ``obs_spec`` the worker traces
+    into its own shard (parented under the supervisor's task span),
+    without one it goes silent — either way the supervisor stays the
+    single writer of the run's own artifacts. The shard is flushed
+    *before* the terminal pipe message, so the supervisor never merges
+    a shard that is still being written.
     """
-    from repro import obs
+    from repro.obs import context as obs_context
 
-    obs.reset_in_child()
+    obs_context.init_worker(obs_spec)
     faults.reset_in_child()
     send_lock = threading.Lock()
     beating = threading.Event()
@@ -179,9 +184,11 @@ def _worker_main(conn, fn, args, fault, heartbeat_seconds) -> None:
         if fault is not None and fault.action == "corrupt":
             payload = faults.corrupt_payload(payload)
         beating.clear()
+        obs_context.finalize_worker()
         _send(("ok", payload))
     except BaseException as exc:
         beating.clear()
+        obs_context.finalize_worker()
         _send(("err", type(exc).__name__, str(exc)))
     finally:
         try:
@@ -201,6 +208,9 @@ class _Pending:
     args: Any
     attempts: int
     eligible_at: float
+    #: Open supervised span id covering launch → retries → terminal
+    #: state; allocated on first launch, carried across retries.
+    span: str | None = None
 
 
 @dataclass
@@ -213,6 +223,8 @@ class _Running:
     conn: Any
     deadline: float | None
     last_beat: float
+    started: float = 0.0
+    span: str | None = None
 
 
 def run_supervised(fn: Callable[[Any], dict],
@@ -223,6 +235,8 @@ def run_supervised(fn: Callable[[Any], dict],
                    on_result: Callable[[tuple, dict, bool], None] | None = None,
                    fault_plan: dict[int, faults.WorkerFault] | None = None,
                    drain: DrainState | None = None,
+                   span_name: str = "task",
+                   observer=None,
                    ) -> list[TaskOutcome]:
     """Execute keyed tasks in supervised child processes.
 
@@ -244,17 +258,30 @@ def run_supervised(fn: Callable[[Any], dict],
     launch, in-flight workers finish (and journal via ``on_result``),
     and everything still pending is marked ``skipped`` — resumable,
     not failed.
+
+    Each task gets one supervised ``span_name`` span on the event bus,
+    opened at first launch and closed at its terminal state (outcome
+    ok/quarantined/skipped, total attempts) — retries live inside it.
+    When the active run context has a shard directory, every launch
+    carries a :func:`repro.obs.context.worker_spec` so the worker's own
+    spans land in a shard parented under the task span; shards are
+    merged back into the run trace after the pool finishes. ``observer``
+    (a :class:`~repro.obs.status.StatusPublisher`) receives a
+    ``pool_tick(running, pending)`` per supervision cycle.
     """
     # Lazy import: obs depends on resilience.atomic, so the reverse
     # edge must not exist at module import time.
     from multiprocessing import connection as mp_connection
 
+    from repro.obs import context as obs_context
     from repro.obs import events, metrics
 
     policy = policy or PoolPolicy()
     if fault_plan is None:
         fault_plan = faults.worker_fault_plan()
     ctx = _context()
+    bus = events.get_bus()
+    specs_issued = False
 
     outcomes: dict[tuple, TaskOutcome] = {}
     order: list[tuple] = []
@@ -282,14 +309,27 @@ def run_supervised(fn: Callable[[Any], dict],
         r.proc.kill()
         _reap(r)
 
+    def _close_span(span: str | None, key: tuple, outcome: str,
+                    attempts: int) -> None:
+        if span is not None:
+            bus.close_span(span, key=list(key), outcome=outcome,
+                           attempts=attempts, supervised=True)
+
     def _launch(p: _Pending) -> _Running:
+        nonlocal specs_issued
         fault = fault_plan.get(p.index)
         if fault is not None and p.attempts > 0 and not fault.every_attempt:
             fault = None  # first-attempt faults let the retry succeed
+        if p.span is None:
+            p.span = bus.open_span(span_name, key=list(p.key),
+                                   supervised=True)
+        spec = obs_context.worker_spec(
+            parent_span_id=p.span, label=f"t{p.index}a{p.attempts + 1}")
+        specs_issued = specs_issued or spec is not None
         recv, send = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=_worker_main,
-            args=(send, fn, p.args, fault, policy.heartbeat_seconds),
+            args=(send, fn, p.args, fault, policy.heartbeat_seconds, spec),
             daemon=True)
         proc.start()
         send.close()  # child's end only; EOF on our side when it dies
@@ -300,7 +340,7 @@ def run_supervised(fn: Callable[[Any], dict],
         deadline = (now + policy.point_timeout
                     if policy.point_timeout is not None else None)
         return _Running(p.index, p.key, p.args, p.attempts, proc, recv,
-                        deadline, now)
+                        deadline, now, started=now, span=p.span)
 
     def _finish_failure(r: _Running, reason: str, outcome: str) -> None:
         out = outcomes[r.key]
@@ -320,7 +360,7 @@ def run_supervised(fn: Callable[[Any], dict],
                         reason=outcome)
             metrics.inc("repro.pool.retries")
             pending.append(_Pending(r.index, r.key, r.args, attempts,
-                                    time.monotonic() + delay))
+                                    time.monotonic() + delay, span=r.span))
             return
         out.quarantined = True
         log.warning("pool: %s quarantined after %d failed attempts "
@@ -333,6 +373,7 @@ def run_supervised(fn: Callable[[Any], dict],
             out.payload = payload
             if on_result is not None:
                 on_result(r.key, payload, True)
+        _close_span(r.span, r.key, "quarantined", attempts)
 
     def _finish_success(r: _Running, payload: dict) -> None:
         out = outcomes[r.key]
@@ -351,6 +392,7 @@ def run_supervised(fn: Callable[[Any], dict],
         metrics.inc("repro.pool.attempts", outcome="ok")
         if on_result is not None:
             on_result(r.key, payload, False)
+        _close_span(r.span, r.key, "ok", out.attempts)
 
     def _drain(r: _Running):
         """Consume buffered messages; the first terminal one wins.
@@ -377,6 +419,7 @@ def run_supervised(fn: Callable[[Any], dict],
             if drain is not None and drain.requested and pending:
                 for p in pending:
                     outcomes[p.key].skipped = True
+                    _close_span(p.span, p.key, "skipped", p.attempts)
                 log.info("pool: drain requested (%s) — %d pending task(s) "
                          "skipped, %d in flight finishing",
                          drain.signal_name(), len(pending), len(running))
@@ -431,11 +474,20 @@ def run_supervised(fn: Callable[[Any], dict],
                     _reap(r)
                     _finish_failure(r, res[1], "error")
             running = still
+            if observer is not None:
+                observer.pool_tick(
+                    [{"pid": r.proc.pid, "key": list(r.key),
+                      "attempt": r.attempts + 1,
+                      "since_s": round(now - r.started, 2)}
+                     for r in running],
+                    len(pending))
     finally:
         for r in running:  # interrupted: never leak children
             try:
                 _kill(r)
             except Exception:  # pragma: no cover - best-effort teardown
                 pass
+        if specs_issued:
+            obs_context.merge_worker_shards()
 
     return [outcomes[k] for k in order]

@@ -163,3 +163,107 @@ def test_events_are_json_serializable_all_the_way(tmp_path):
     for line in ev.read_text().splitlines():
         rec = json.loads(line)
         assert isinstance(rec, dict) and "kind" in rec
+
+
+class TestEmptyAndTruncatedEvents:
+    def test_empty_events_file_exits_2(self, tmp_path, capsys):
+        ev = tmp_path / "empty.jsonl"
+        ev.write_text("")
+        assert main(["obs-report", str(ev)]) == 2
+        err = capsys.readouterr().err
+        assert "repro: error:" in err and "no event records" in err
+
+    def test_fully_truncated_events_file_exits_2(self, tmp_path):
+        ev = tmp_path / "torn.jsonl"
+        ev.write_text('{"kind": "span_start", "na')  # one torn line
+        assert main(["obs-report", str(ev)]) == 2
+
+
+class TestRunDir:
+    @pytest.fixture
+    def run(self, tmp_path):
+        """One ledgered tiny table3 run; yields the run directory."""
+        runner.clear_cache()
+        led = tmp_path / "ledger"
+        csv = tmp_path / "points.csv"
+        rc = main(["table3", "--n", "8", "--run-dir", str(led),
+                   "--csv", str(csv)])
+        assert rc == 0
+        (run,) = led.iterdir()
+        return run
+
+    def test_run_dir_lays_out_the_standard_artifacts(self, run):
+        assert (run / "manifest.json").is_file()
+        assert (run / "events.jsonl").is_file()
+        assert (run / "metrics.json").is_file()
+        assert (run / "status.json").is_file()
+        s = summarize(read_events(run / "events.jsonl"),
+                      read_metrics(run / "metrics.json"))
+        assert s.points == 18
+
+    def test_manifest_records_outcome_metrics_and_artifacts(self, run):
+        from repro.obs import ledger
+
+        m = ledger.read_manifest(run)
+        assert m["outcome"] == "ok"
+        assert m["argv"][0] == "table3"
+        assert m["metrics"]["points"] == 18
+        assert m["metrics"]["point_seconds"]["p95"] > 0
+        assert m["artifacts"]["csv"].endswith("points.csv")
+        assert m["artifacts"]["events"].endswith("events.jsonl")
+
+    def test_obs_report_accepts_a_run_dir(self, run, capsys):
+        assert main(["obs-report", str(run)]) == 0
+        out = capsys.readouterr().out
+        assert "points: 18" in out
+        assert "Miss classification" in out  # metrics.json auto-adopted
+
+    def test_runs_show_renders_percentiles(self, run, capsys):
+        led = str(run.parent)
+        assert main(["runs", "show", "--run-dir", led]) == 0
+        out = capsys.readouterr().out
+        assert "outcome  : ok" in out
+        assert "p95" in out and "points   : 18" in out
+
+    def test_run_context_event_lands_in_trace(self, run):
+        from repro.obs import ledger
+
+        events = read_events(run / "events.jsonl")
+        (rc_event,) = [e for e in events if e["kind"] == "run_context"]
+        assert rc_event["run_id"] == ledger.read_manifest(run)["run_id"]
+        assert rc_event["argv"][0] == "table3"
+
+    def test_error_outcome_is_ledgered(self, tmp_path, tiny_config):
+        led = tmp_path / "ledger"
+        # Usage errors fail before the session: no run is created.
+        rc = main(["simulate", "--kernel", "JACOBI", "--strategy", "Orig",
+                   "--n", "-3", "--run-dir", str(led)])
+        assert rc == 2
+        assert not led.exists() or not list(led.iterdir())
+
+        # A journal from a different configuration fails *inside* the
+        # session: the manifest must record the error outcome.
+        from repro.experiments.runner import sweep as run_sweep
+        from repro.experiments.options import SweepOptions
+
+        ck = tmp_path / "ck.jsonl"
+        run_sweep("JACOBI", ["Orig"], [8], tiny_config,
+                  options=SweepOptions(checkpoint=ck))
+        rc = main(["figures", "--kernel", "JACOBI", "--n", "8",
+                   "--checkpoint", str(ck), "--run-dir", str(led)])
+        assert rc == 2
+        from repro.obs import ledger
+
+        (run,) = led.iterdir()
+        assert ledger.read_manifest(run)["outcome"] == \
+            "error:CheckpointError"
+
+
+class TestProgressFlag:
+    def test_progress_line_on_stderr(self, tmp_path, capsys):
+        runner.clear_cache()
+        rc = main(["figures", "--kernel", "JACOBI", "--n", "8",
+                   "--progress"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "/6 points" in err  # six strategies, one size

@@ -1,0 +1,144 @@
+"""Tests for run identity and cross-process trace propagation."""
+
+import json
+import os
+
+from repro.obs import context, events, metrics
+from repro.obs.context import RUN_ID_ENV, RunContext, new_context
+from repro.obs.events import EventBus, JsonlSink, MemorySink
+
+
+class TestContext:
+    def test_run_ids_are_unique_and_sortable_shaped(self):
+        a, b = context.new_run_id(), context.new_run_id()
+        assert a != b
+        date, clock, nonce = a.split("-")
+        assert len(date) == 8 and len(clock) == 6 and len(nonce) == 6
+
+    def test_activate_installs_and_exports(self, monkeypatch):
+        monkeypatch.delenv(RUN_ID_ENV, raising=False)
+        ctx = new_context()
+        assert context.current() is None
+        with context.activate(ctx):
+            assert context.current() is ctx
+            assert os.environ[RUN_ID_ENV] == ctx.run_id
+        assert context.current() is None
+        assert RUN_ID_ENV not in os.environ
+
+    def test_activate_restores_previous_env(self, monkeypatch):
+        monkeypatch.setenv(RUN_ID_ENV, "outer")
+        with context.activate(new_context()):
+            pass
+        assert os.environ[RUN_ID_ENV] == "outer"
+
+
+class TestWorkerSpec:
+    def test_none_without_context_or_shards_or_bus(self, tmp_path):
+        assert context.worker_spec() is None  # no active context
+        ctx = new_context()  # no shard_dir
+        with context.activate(ctx):
+            assert context.worker_spec() is None
+        ctx = new_context(shard_dir=tmp_path / "shards")
+        with context.activate(ctx):
+            assert context.worker_spec() is None  # global bus disabled
+
+    def test_spec_carries_identity_and_unique_shards(self, tmp_path):
+        ctx = new_context(shard_dir=tmp_path / "shards")
+        bus = EventBus(MemorySink(), context=ctx)
+        with context.activate(ctx), events.use(bus):
+            with bus.span("run"), bus.span("sweep"):
+                s1 = context.worker_spec(parent_span_id="sup:1", label="a")
+                s2 = context.worker_spec(parent_span_id="sup:2", label="a")
+        assert s1["run_id"] == ctx.run_id
+        assert s1["trace_id"] == ctx.trace_id
+        assert s1["parent_span_id"] == "sup:1"
+        assert s1["span_prefix"] == ["run", "sweep"]
+        assert s1["shard"] != s2["shard"]  # retries never clobber
+        assert (tmp_path / "shards").is_dir()
+
+
+class TestWorkerRoundTrip:
+    """init_worker/finalize_worker in-process (the fork path covers the
+    same code: the child simply runs it in its own interpreter)."""
+
+    def _restore(self):
+        events._BUS = EventBus()
+        metrics._REGISTRY = None
+        context._CURRENT = None
+        context._WORKER_SPEC = None
+
+    def test_init_none_resets_to_silence(self):
+        try:
+            events._BUS = EventBus(MemorySink())
+            context.init_worker(None)
+            assert not events.get_bus().enabled
+            assert metrics.registry() is None
+        finally:
+            self._restore()
+
+    def test_worker_writes_shard_and_metrics_then_merge(self, tmp_path):
+        ctx = new_context(shard_dir=tmp_path / "shards")
+        sup_bus = EventBus(MemorySink(), context=ctx)
+        try:
+            with context.activate(ctx), events.use(sup_bus):
+                with sup_bus.span("run"), sup_bus.span("sweep"):
+                    spec = context.worker_spec(parent_span_id="sup:9",
+                                               label="t1a1")
+                    spec["metrics"] = True
+            # --- what the child process does ---
+            context.init_worker(spec)
+            wbus = events.get_bus()
+            assert wbus.enabled and wbus.context.node.startswith("w")
+            with wbus.span("simulate"):
+                metrics.inc("repro.sim.accesses", 7, level="L1")
+            context.finalize_worker()
+            context.finalize_worker()  # idempotent
+            shard = [json.loads(ln) for ln in
+                     open(spec["shard"]).read().splitlines()]
+            assert shard[0]["parent_id"] == "sup:9"
+            assert shard[0]["span"] == "run/sweep"
+            assert json.loads(open(spec["metrics_shard"]).read())["counters"]
+        finally:
+            self._restore()
+
+        # --- back on the supervisor: merge ---
+        sup_reg = metrics.MetricsRegistry()
+        with context.activate(ctx), events.use(sup_bus), \
+                metrics.collect(sup_reg):
+            merged = context.merge_worker_shards()
+        assert merged == 2  # simulate span_start + span_end
+        recs = sup_bus.sink.records
+        assert any(r.get("kind") == "shards_merged" for r in recs)
+        worker_recs = [r for r in recs if str(r.get("node", "")).startswith("w")]
+        assert len(worker_recs) == 2
+        assert sup_reg.counter_total("repro.sim.accesses", level="L1") == 7
+        assert not (tmp_path / "shards").exists()  # shards consumed
+
+    def test_merge_tolerates_killed_writer_damage(self, tmp_path):
+        shards = tmp_path / "shards"
+        shards.mkdir()
+        (shards / "0001-a.jsonl").write_text(
+            '{"kind": "span_start", "name": "simulate", "ts": 1.0}\n'
+            '{"kind": "span_end", "na')  # torn mid-write by SIGKILL
+        (shards / "0002-b.jsonl").write_text("")  # killed before writing
+        ctx = RunContext(run_id="r", trace_id="t", shard_dir=shards)
+        bus = EventBus(MemorySink(), context=ctx)
+        with context.activate(ctx), events.use(bus):
+            merged = context.merge_worker_shards()
+        assert merged == 1
+        assert not shards.exists()
+
+    def test_merge_without_context_is_noop(self):
+        assert context.merge_worker_shards() == 0
+
+
+class TestResetInChild:
+    def test_obs_reset_in_child_still_silences(self):
+        from repro import obs
+
+        try:
+            events._BUS = EventBus(MemorySink())
+            obs.reset_in_child()
+            assert not events.get_bus().enabled
+        finally:
+            events._BUS = EventBus()

@@ -128,6 +128,108 @@ class TestReadEvents:
             read_events(path)
 
 
+class TestSpanIds:
+    def test_spans_carry_ids_and_parent_links(self):
+        sink = MemorySink()
+        bus = EventBus(sink)
+        with bus.span("run"):
+            with bus.span("sweep"):
+                pass
+        starts = [r for r in sink.records if r["kind"] == "span_start"]
+        run_start, sweep_start = starts
+        assert run_start["span_id"] and "parent_id" not in run_start
+        assert sweep_start["parent_id"] == run_start["span_id"]
+        ends = [r for r in sink.records if r["kind"] == "span_end"]
+        assert ends[0]["span_id"] == sweep_start["span_id"]
+        assert ends[0]["parent_id"] == run_start["span_id"]
+
+    def test_context_stamps_run_and_node(self):
+        from repro.obs.context import RunContext
+
+        sink = MemorySink()
+        ctx = RunContext(run_id="r1", trace_id="t1", node="sup")
+        bus = EventBus(sink, context=ctx)
+        bus.emit("ping")
+        with bus.span("s"):
+            pass
+        assert all(r["run"] == "r1" and r["node"] == "sup"
+                   for r in sink.records)
+        assert sink.records[1]["span_id"].startswith("sup:")
+
+    def test_worker_bus_parents_under_supervisor_span(self):
+        from repro.obs.context import RunContext
+
+        sink = MemorySink()
+        ctx = RunContext(run_id="r1", trace_id="t1", node="w42")
+        bus = EventBus(sink, context=ctx, parent_span_id="sup:7",
+                       span_prefix=["run", "sweep"])
+        with bus.span("simulate"):
+            bus.emit("inner")
+        start, inner, end = sink.records
+        assert start["parent_id"] == "sup:7"
+        assert start["span"] == "run/sweep"
+        assert inner["span"] == "run/sweep/simulate"
+        assert start["span_id"].startswith("w42:")
+
+    def test_open_close_span_detached_from_stack(self):
+        sink = MemorySink()
+        bus = EventBus(sink)
+        with bus.span("sweep"):
+            sid = bus.open_span("point", key=[1], supervised=True)
+            # Manual spans do not become the parent of stacked spans.
+            with bus.span("other"):
+                pass
+            bus.close_span(sid, outcome="ok", attempts=2)
+        start = sink.records[1]
+        assert start["kind"] == "span_start" and start["span_id"] == sid
+        assert start["parent_id"] == sink.records[0]["span_id"]
+        other_start = sink.records[2]
+        assert other_start["parent_id"] == sink.records[0]["span_id"]
+        end = next(r for r in sink.records if r["kind"] == "span_end"
+                   and r.get("span_id") == sid)
+        assert end["outcome"] == "ok" and end["attempts"] == 2
+        assert end["dur_s"] >= 0
+
+    def test_disabled_bus_open_span_is_none(self):
+        bus = EventBus()
+        assert bus.open_span("x") is None
+        bus.close_span(None)  # no-op, no raise
+
+
+class TestFlushDurability:
+    def test_top_level_span_end_flushes(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        bus = EventBus(JsonlSink(path, flush_every=10_000))
+        with bus.span("run"):
+            with bus.span("sweep"):
+                pass
+        # No close() yet: the top-level span exit forced the flush.
+        assert len(read_events(path)) == 4
+
+    def test_atexit_flushes_unclosed_sink(self, tmp_path):
+        import subprocess
+        import sys
+
+        path = tmp_path / "run.jsonl"
+        code = (
+            "from repro.obs.events import EventBus, JsonlSink\n"
+            f"bus = EventBus(JsonlSink({str(path)!r}, flush_every=10_000))\n"
+            "bus.emit('orphan')\n"
+            "# no close(): atexit must write the buffer\n")
+        subprocess.run([sys.executable, "-c", code], check=True,
+                       env={"PYTHONPATH": "src"})
+        assert [e["kind"] for e in read_events(path)] == ["orphan"]
+
+    def test_disarm_inherited_sinks_drops_buffer(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(path, flush_every=10_000)
+        bus = EventBus(sink)
+        bus.emit("buffered")
+        events.disarm_inherited_sinks()
+        sink.flush()  # buffer was cleared: nothing must reach disk
+        assert not path.exists()
+
+
 class TestDisabledOverhead:
     def test_disabled_hooks_are_cheap(self):
         """Smoke bound on the disabled fast path.

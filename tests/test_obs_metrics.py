@@ -65,6 +65,75 @@ class TestRegistry:
             read_metrics(tmp_path / "missing.json")
 
 
+class TestPercentiles:
+    def test_nearest_rank(self):
+        from repro.obs.metrics import percentile
+
+        vals = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+        assert percentile(vals, 50) == 0.5
+        assert percentile(vals, 90) == 0.9
+        assert percentile(vals, 95) == 1.0
+        assert percentile(vals, 0) == 0.1
+        assert percentile(vals, 100) == 1.0
+        assert percentile([], 50) is None
+        assert percentile([7.0], 50) == 7.0
+
+    def test_histogram_summary_and_percentiles(self):
+        h = MetricsRegistry().histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(95) == 95.0
+        s = h.summary()
+        assert s["count"] == 100 and s["p50"] == 50.0
+        assert s["p90"] == 90.0 and s["max"] == 100.0
+
+    def test_sample_cap_keeps_summary_exact(self):
+        from repro.obs.metrics import SAMPLE_CAP
+
+        h = MetricsRegistry().histogram("h")
+        for v in range(SAMPLE_CAP + 10):
+            h.observe(float(v))
+        assert len(h.samples) == SAMPLE_CAP
+        assert h.count == SAMPLE_CAP + 10       # exact beyond the cap
+        assert h.max == float(SAMPLE_CAP + 9)
+
+    def test_snapshot_rows_carry_percentiles_and_samples(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.histogram("h").observe(v)
+        (row,) = reg.snapshot()["histograms"]
+        assert row["p50"] == 2.0 and row["p90"] == 3.0
+        assert row["samples"] == [1.0, 2.0, 3.0]
+
+
+class TestMerge:
+    def test_counters_add_and_histograms_fold(self):
+        worker = MetricsRegistry()
+        worker.counter("repro.sim.accesses", level="L1").inc(10)
+        worker.histogram("repro.sim.point_seconds").observe(0.5)
+        worker.gauge("repro.pool.workers").set(4)
+
+        sup = MetricsRegistry()
+        sup.counter("repro.sim.accesses", level="L1").inc(1)
+        sup.histogram("repro.sim.point_seconds").observe(0.25)
+        sup.merge(worker.snapshot())
+        assert sup.counter_total("repro.sim.accesses", level="L1") == 11
+        h = sup.histogram("repro.sim.point_seconds")
+        assert h.count == 2 and sorted(h.samples) == [0.25, 0.5]
+        # Gauges are node-local: never merged.
+        assert sup.gauge("repro.pool.workers").value == 0.0
+
+    def test_merge_skips_the_supervisor_owned_point_counter(self):
+        worker = MetricsRegistry()
+        worker.counter("repro.runner.points", mode="exact").inc(5)
+        sup = MetricsRegistry()
+        sup.counter("repro.runner.points", mode="exact").inc(2)
+        sup.merge(worker.snapshot())
+        # on_result already counted each accepted point once.
+        assert sup.counter_total("repro.runner.points") == 2
+
+
 class TestModuleHooks:
     def test_disabled_by_default(self):
         assert not metrics.enabled()
