@@ -30,7 +30,7 @@ from repro.resilience.integrity import (QUARANTINE_DIR, attach_crc,
 from repro.resilience.locking import FileLock
 
 __all__ = ["FsckFinding", "FsckReport", "fsck_path", "fsck_journal",
-           "fsck_store"]
+           "fsck_store", "fsck_run", "fsck_ledger"]
 
 log = logging.getLogger(__name__)
 
@@ -53,7 +53,7 @@ class FsckReport:
     """Everything ``repro fsck`` learned about one artifact."""
 
     target: str
-    kind: str  # "journal" | "store"
+    kind: str  # "journal" | "store" | "run" | "ledger"
     findings: list[FsckFinding] = field(default_factory=list)
     repaired: bool = False
     #: Fatal structural problem (unreadable, no header, ...), if any.
@@ -92,13 +92,27 @@ class FsckReport:
 # ----------------------------------------------------------------------
 def fsck_path(path: str | pathlib.Path, *, repair: bool = False,
               ) -> FsckReport:
-    """Dispatch on artifact shape: file → journal, directory → store."""
+    """Dispatch on artifact shape.
+
+    A file is a checkpoint journal. A directory holding a
+    ``manifest.json`` is one ledgered run; a directory whose children
+    hold them is a run ledger (every run is checked); anything else
+    directory-shaped is a point store.
+    """
     path = pathlib.Path(path)
     if path.is_dir():
+        from repro.obs.ledger import MANIFEST_NAME
+
+        if (path / MANIFEST_NAME).is_file():
+            return fsck_run(path, repair=repair)
+        if any((d / MANIFEST_NAME).is_file() for d in path.iterdir()
+               if d.is_dir()):
+            return fsck_ledger(path, repair=repair)
         return fsck_store(path, repair=repair)
     if path.is_file():
         return fsck_journal(path, repair=repair)
-    raise FsckError(f"{path}: no such journal file or store directory")
+    raise FsckError(f"{path}: no such journal file, store directory, "
+                    f"run directory or run ledger")
 
 
 # ----------------------------------------------------------------------
@@ -274,3 +288,113 @@ def _check_store_entry(path: pathlib.Path) -> tuple[str, str]:
     if v < _store._ENTRY_VERSION:
         return "legacy", f"v{v} entry (pre-checksum; upgraded on next hit)"
     return "ok", f"key={entry['key']!r}"
+
+
+# ----------------------------------------------------------------------
+def fsck_run(run_dir: str | pathlib.Path, *,
+             repair: bool = False) -> FsckReport:
+    """Verify one ledgered run directory (``.../LEDGER/<run_id>``).
+
+    Checks the CRC'd ``manifest.json`` and ``status.json``, flags
+    leftover worker shards (``shards/`` is transient: merged into the
+    run trace and removed — anything still there came from a killed
+    run) and stray ``.tmp`` files as ``orphan``. ``--repair``
+    quarantines damaged files (provenance preserved) and removes the
+    orphans.
+    """
+    from repro.obs.ledger import MANIFEST_NAME, STATUS_NAME
+
+    run_dir = pathlib.Path(run_dir)
+    report = FsckReport(target=str(run_dir), kind="run")
+    if not run_dir.is_dir():
+        report.fatal = "not a directory"
+        return report
+
+    for name in (MANIFEST_NAME, STATUS_NAME):
+        path = run_dir / name
+        if not path.is_file():
+            if name == MANIFEST_NAME:
+                report.fatal = f"no {name}"
+                report.add(name, "damaged", "missing")
+            continue
+        status, detail = _check_crc_json(path)
+        if status == "damaged" and repair:
+            quarantine_file(path, reason=f"fsck --repair: {detail}",
+                            artifact="run", root=run_dir)
+            report.repaired = True
+            status = "repaired"
+        report.add(name, status, detail)
+
+    shards = run_dir / "shards"
+    if shards.is_dir():
+        leftover = sorted(p for p in shards.iterdir() if p.is_file())
+        for p in leftover:
+            report.add(str(p.relative_to(run_dir)), "orphan",
+                       "unmerged worker shard from a killed run")
+            if repair:
+                quarantine_file(p, reason="fsck --repair: unmerged "
+                                "worker shard", artifact="shard",
+                                root=run_dir)
+                report.repaired = True
+        if repair and not any(shards.iterdir()):
+            try:
+                shards.rmdir()
+            except OSError:  # pragma: no cover - racing writer
+                pass
+    for tmp in run_dir.glob("*.tmp"):
+        report.add(tmp.name, "orphan", "temp file from a killed writer")
+        if repair:
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - racing writer
+                pass
+    qdir = run_dir / QUARANTINE_DIR
+    if qdir.is_dir():
+        held = sum(1 for q in qdir.iterdir()
+                   if q.is_file() and not q.name.endswith(".meta.json"))
+        if held:
+            report.add(QUARANTINE_DIR, "ok",
+                       f"{held} previously quarantined artifact(s) held")
+    return report
+
+
+def fsck_ledger(ledger_dir: str | pathlib.Path, *,
+                repair: bool = False) -> FsckReport:
+    """Verify every run of a ``--run-dir`` ledger in one report."""
+    from repro.obs.ledger import MANIFEST_NAME
+
+    ledger_dir = pathlib.Path(ledger_dir)
+    report = FsckReport(target=str(ledger_dir), kind="ledger")
+    runs = sorted(d for d in ledger_dir.iterdir()
+                  if d.is_dir() and (d / MANIFEST_NAME).is_file())
+    if not runs:
+        report.fatal = "no ledgered runs (no <run_id>/manifest.json)"
+        return report
+    for run in runs:
+        sub = fsck_run(run, repair=repair)
+        prefix = run.name
+        if sub.fatal:
+            report.add(prefix, "damaged", sub.fatal)
+        for f in sub.findings:
+            report.add(f"{prefix}/{f.where}", f.status, f.detail)
+        report.repaired = report.repaired or sub.repaired
+    return report
+
+
+def _check_crc_json(path: pathlib.Path) -> tuple[str, str]:
+    """Verdict for one CRC'd JSON artifact (manifest/status)."""
+    try:
+        obj = json.loads(path.read_text())
+        if not isinstance(obj, dict):
+            raise ValueError("not a JSON object")
+    except OSError as exc:
+        return "damaged", f"unreadable: {exc}"
+    except ValueError as exc:
+        return "damaged", f"unparseable: {exc}"
+    if "crc" not in obj:
+        return "legacy", "no checksum attached"
+    if not verify_crc(obj):
+        return "damaged", "checksum mismatch"
+    detail = ", ".join(
+        f"{k}={obj[k]!r}" for k in ("run_id", "outcome") if k in obj)
+    return "ok", detail

@@ -35,14 +35,15 @@ import os
 import pathlib
 import time
 
-from repro.errors import LockError
+from repro.errors import ConfigurationError, LockError
 
 try:  # pragma: no cover - platform probe
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
-__all__ = ["FileLock", "DEFAULT_TIMEOUT"]
+__all__ = ["FileLock", "DEFAULT_TIMEOUT", "DEFAULT_STALE_SECONDS",
+           "resolve_stale_seconds"]
 
 log = logging.getLogger(__name__)
 
@@ -51,7 +52,38 @@ log = logging.getLogger(__name__)
 #: wait here means a wedged (but live) holder, which we surface.
 DEFAULT_TIMEOUT = 30.0
 
+#: Default age past which a fallback lockfile may be taken over.
+#: Override per deployment with ``REPRO_LOCK_STALE_S`` (positive
+#: seconds): long-running services want a shorter horizon than a
+#: ten-minute batch sweep, crash-looping CI sometimes a longer one.
+DEFAULT_STALE_SECONDS = 600.0
+
 _POLL_SECONDS = 0.02
+
+
+def resolve_stale_seconds(value: float | None = None) -> float:
+    """The effective stale-takeover age: arg > env > default.
+
+    A malformed or non-positive ``REPRO_LOCK_STALE_S`` raises
+    :class:`~repro.errors.ConfigurationError` (the CLI maps it to exit
+    2) rather than silently falling back — a typo here must not turn
+    into a lock that can never be broken or one stolen instantly.
+    """
+    if value is not None:
+        return value
+    raw = os.environ.get("REPRO_LOCK_STALE_S")
+    if raw is None or not raw.strip():
+        return DEFAULT_STALE_SECONDS
+    try:
+        seconds = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_LOCK_STALE_S must be a number of seconds, "
+            f"got {raw!r}") from None
+    if seconds <= 0:
+        raise ConfigurationError(
+            f"REPRO_LOCK_STALE_S must be positive, got {raw!r}")
+    return seconds
 
 
 class FileLock:
@@ -71,10 +103,12 @@ class FileLock:
 
     def __init__(self, path: str | os.PathLike, *,
                  timeout: float = DEFAULT_TIMEOUT,
-                 stale_seconds: float = 600.0):
+                 stale_seconds: float | None = None):
         self.path = pathlib.Path(path)
         self.timeout = timeout
-        self.stale_seconds = stale_seconds
+        #: ``None`` defers to ``REPRO_LOCK_STALE_S`` (validated), then
+        #: :data:`DEFAULT_STALE_SECONDS`.
+        self.stale_seconds = resolve_stale_seconds(stale_seconds)
         self._fd: int | None = None
         self._held_fallback = False
 

@@ -1,0 +1,32 @@
+"""The resilient tile-advisor service (``repro serve`` / ``repro ask``).
+
+Answers "what tile/pad for my kernel?" queries at interactive latency
+by composing the repo's existing layers — the sharded
+:class:`~repro.perf.store.PointStore` (warm answers), the supervised
+worker pool (fresh exact simulation) and the paper's analytic miss
+model (the always-available floor) — behind a deadline-budgeted
+degradation ladder with request coalescing, bounded admission, and a
+circuit breaker around the simulation backend.
+
+Package map:
+
+* :mod:`repro.service.api` — JSONL wire protocol, typed
+  query/answer model, provenance tiers.
+* :mod:`repro.service.core` — :class:`AdvisorService`, the asyncio
+  core (coalescing, shedding, deadlines, degradation).
+* :mod:`repro.service.backend` — the single-threaded batching bridge
+  to the supervised pool.
+* :mod:`repro.service.breaker` — the circuit breaker.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  ``repro serve`` process and the ``repro ask`` client.
+"""
+
+from repro.service.api import (AdvisorAnswer, AdvisorQuery,
+                               PROVENANCE_TIERS, provenance_of)
+from repro.service.backend import BackendResult, PoolBackend
+from repro.service.breaker import CircuitBreaker
+from repro.service.core import AdvisorService
+
+__all__ = ["AdvisorAnswer", "AdvisorQuery", "AdvisorService",
+           "BackendResult", "CircuitBreaker", "PoolBackend",
+           "PROVENANCE_TIERS", "provenance_of"]

@@ -1,0 +1,139 @@
+"""Circuit breaker around the advisor's simulation backend.
+
+Exact simulation runs in supervised child processes; when those keep
+dying (quarantines) or keep blowing their wall timeout, every further
+submission is wasted work *and* added queue pressure on a backend that
+is already sick. The breaker converts that failure streak into an
+explicit state machine:
+
+* **closed** — normal operation, submissions flow.
+* **open** — after ``failure_threshold`` consecutive backend failures;
+  submissions are refused outright and the service answers from the
+  analytic model (``degraded`` + ``reason=breaker_open``) instead of
+  queueing onto a corpse. Entered instantly, left only by time.
+* **half-open** — after ``reset_seconds`` in open, a bounded number of
+  *probe* submissions is allowed through. One success closes the
+  breaker; one failure reopens it (and restarts the cooldown).
+
+The breaker is deliberately single-threaded: every transition happens
+on the service's event loop (backend completions are marshalled there
+first), so there are no locks and no torn state. ``clock`` is
+injectable for deterministic tests.
+
+State is exported as the gauge ``repro.service.breaker_state``
+(0 = closed, 1 = half-open, 2 = open), transitions as the counter
+``repro.service.breaker`` (label ``to``) and ``breaker`` events.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+
+from repro.errors import ConfigurationError
+from repro.obs import events, metrics
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+log = logging.getLogger(__name__)
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+_STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probes."""
+
+    def __init__(self, *, failure_threshold: int = 3,
+                 reset_seconds: float = 5.0, half_open_probes: int = 1,
+                 clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_seconds <= 0:
+            raise ConfigurationError(
+                f"reset_seconds must be positive, got {reset_seconds}")
+        if half_open_probes < 1:
+            raise ConfigurationError(
+                f"half_open_probes must be >= 1, got {half_open_probes}")
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self.transitions = 0
+        metrics.set_gauge("repro.service.breaker_state",
+                          _STATE_GAUGE[CLOSED])
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state; lazily moves open → half-open on cooldown."""
+        if self._state == OPEN and \
+                self._clock() - self._opened_at >= self.reset_seconds:
+            self._transition(HALF_OPEN)
+        return self._state
+
+    def allow(self) -> bool:
+        """May one more simulation be submitted to the backend now?
+
+        In half-open, a ``True`` consumes one probe slot; the caller
+        *must* follow up with :meth:`record_success` or
+        :meth:`record_failure` for that submission.
+        """
+        st = self.state
+        if st == CLOSED:
+            return True
+        if st == HALF_OPEN and self._probes_inflight < self.half_open_probes:
+            self._probes_inflight += 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A backend submission produced a validated payload."""
+        if self._state == HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+            self._transition(CLOSED)
+        self._failures = 0
+
+    def record_failure(self, reason: str = "") -> None:
+        """A backend submission was quarantined / timed out / died."""
+        self._failures += 1
+        if self._state == HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+            self._open(reason or "half-open probe failed")
+        elif self._state == CLOSED \
+                and self._failures >= self.failure_threshold:
+            self._open(reason or
+                       f"{self._failures} consecutive backend failures")
+
+    def snapshot(self) -> dict:
+        return {"state": self.state, "failures": self._failures,
+                "transitions": self.transitions}
+
+    # ------------------------------------------------------------------
+    def _open(self, reason: str) -> None:
+        self._opened_at = self._clock()
+        self._transition(OPEN, reason=reason)
+
+    def _transition(self, to: str, *, reason: str = "") -> None:
+        if to == self._state:
+            return
+        frm, self._state = self._state, to
+        self.transitions += 1
+        if to != OPEN:
+            self._failures = 0
+        if to == HALF_OPEN:
+            self._probes_inflight = 0
+        metrics.set_gauge("repro.service.breaker_state", _STATE_GAUGE[to])
+        metrics.inc("repro.service.breaker", to=to)
+        events.emit("breaker", frm=frm, to=to, reason=reason or None)
+        level = logging.WARNING if to == OPEN else logging.INFO
+        log.log(level, "circuit breaker %s -> %s%s", frm, to,
+                f" ({reason})" if reason else "")

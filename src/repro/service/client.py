@@ -1,0 +1,109 @@
+"""`repro ask`: the advisor's command-line client.
+
+A thin synchronous JSONL client: connect to the serve socket, pipeline
+one request per query, collect one response per request (matched by
+id, so server-side reordering is fine), render them. Used
+interactively, from scripts, and by the CI service-smoke job — which
+is why it retries the initial connect (the server may still be
+binding) and never conflates "no response" with "error response":
+every query's fate is reported explicitly.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import time
+
+from repro.errors import ServiceError
+from repro.service import api
+from repro.service.api import AdvisorAnswer, AdvisorQuery
+
+log = logging.getLogger(__name__)
+
+__all__ = ["ask", "request"]
+
+
+def request(socket_path, payloads: list[dict], *, timeout: float = 30.0,
+            connect_wait: float = 5.0) -> list[dict]:
+    """Send protocol objects, return one response object per request.
+
+    Raises :class:`~repro.errors.ServiceError` if the server cannot be
+    reached within ``connect_wait`` or stops responding before every
+    request is answered — a lost query is an error, never a silence.
+    """
+    deadline = time.monotonic() + connect_wait
+    sock = None
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect(str(socket_path))
+            break
+        except OSError as exc:
+            sock.close()
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"cannot reach advisor at {socket_path}: {exc}") \
+                    from exc
+            time.sleep(0.05)
+    try:
+        sock.sendall(b"".join(api.encode(p) for p in payloads))
+        sock.shutdown(socket.SHUT_WR)
+        raw = b""
+        responses: dict = {}
+        order = [p.get("id") for p in payloads]
+        while len(responses) < len(payloads):
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout:
+                raise ServiceError(
+                    f"advisor stopped responding after "
+                    f"{len(responses)}/{len(payloads)} answers "
+                    f"(timeout {timeout}s)") from None
+            if not chunk:
+                raise ServiceError(
+                    f"advisor closed the connection after "
+                    f"{len(responses)}/{len(payloads)} answers")
+            raw += chunk
+            while b"\n" in raw:
+                line, raw = raw.split(b"\n", 1)
+                if not line.strip():
+                    continue
+                obj = api.decode(line)
+                responses[obj.get("id")] = obj
+        return [responses[qid] for qid in order]
+    finally:
+        sock.close()
+
+
+def ask(socket_path, queries: list[AdvisorQuery], *, timeout: float = 30.0,
+        connect_wait: float = 5.0) -> list[dict]:
+    """Ask a batch of queries; responses in query order."""
+    payloads = []
+    for i, q in enumerate(queries):
+        body = q.to_payload()
+        body["id"] = q.qid if q.qid is not None else i
+        payloads.append(body)
+    return request(socket_path, payloads, timeout=timeout,
+                   connect_wait=connect_wait)
+
+
+def format_response(resp: dict) -> str:
+    """One human line per response."""
+    if resp.get("ok") and "answer" in resp:
+        a = AdvisorAnswer.from_payload(resp["answer"])
+        tile = f"{a.tile[0]}x{a.tile[1]}" if a.tile else "untiled"
+        line = (f"{a.kernel}/{a.strategy} N={a.n}: tile {tile}, "
+                f"pad -> {a.di_p}x{a.dj_p}, L1 {a.l1_rate:.2f}%, "
+                f"{a.mflops:.1f} MFlops  [{a.provenance}"
+                f"{', degraded: ' + a.reason if a.degraded else ''}]"
+                f"  ({a.latency_ms:.0f} ms)")
+        return line
+    if resp.get("ok"):
+        return str({k: v for k, v in resp.items() if k not in ("v", "ok")})
+    err = resp.get("error", {})
+    retry = err.get("retry_after_s")
+    suffix = f" (retry in {retry:.1f}s)" if retry is not None else ""
+    return (f"error[{err.get('code', '?')}]: "
+            f"{err.get('message', '?')}{suffix}")

@@ -6,8 +6,9 @@ import time
 
 import pytest
 
-from repro.errors import LockError
-from repro.resilience.locking import FileLock, _pid_alive
+from repro.errors import ConfigurationError, LockError
+from repro.resilience.locking import (DEFAULT_STALE_SECONDS, FileLock,
+                                      _pid_alive, resolve_stale_seconds)
 
 
 class TestBasics:
@@ -178,3 +179,50 @@ class TestPidAlive:
             os._exit(0)
         os.waitpid(pid, 0)
         assert not _pid_alive(pid)
+
+
+class TestStaleSecondsEnv:
+    """``REPRO_LOCK_STALE_S``: env-configurable stale-lock takeover age."""
+
+    def test_default_when_env_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCK_STALE_S", raising=False)
+        assert resolve_stale_seconds() == DEFAULT_STALE_SECONDS
+
+    def test_blank_env_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCK_STALE_S", "   ")
+        assert resolve_stale_seconds() == DEFAULT_STALE_SECONDS
+
+    def test_env_overrides_default(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_LOCK_STALE_S", "12.5")
+        assert resolve_stale_seconds() == 12.5
+        assert FileLock(tmp_path / "x.lock").stale_seconds == 12.5
+
+    def test_explicit_argument_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_LOCK_STALE_S", "12.5")
+        assert resolve_stale_seconds(3.0) == 3.0
+        lock = FileLock(tmp_path / "x.lock", stale_seconds=3.0)
+        assert lock.stale_seconds == 3.0
+
+    @pytest.mark.parametrize("bad", ["not-a-number", "0", "-5", "nan?"])
+    def test_malformed_env_is_a_configuration_error(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_LOCK_STALE_S", bad)
+        with pytest.raises(ConfigurationError, match="REPRO_LOCK_STALE_S"):
+            resolve_stale_seconds()
+
+    def test_cli_maps_malformed_env_to_exit_2(self, monkeypatch, tmp_path,
+                                              capsys):
+        """The first lock acquisition (fsck --repair) surfaces the typo
+        as a usage error, not a crash or a silent default."""
+        from repro.cli import main
+        from repro.resilience import CheckpointJournal
+
+        path = tmp_path / "j.jsonl"
+        j = CheckpointJournal.open(path, "fp")
+        j.record(("K", 1), {"x": 1})
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace('"x": 1', '"x": 2')  # stale crc
+        path.write_text("\n".join(lines) + "\n")
+
+        monkeypatch.setenv("REPRO_LOCK_STALE_S", "soon")
+        assert main(["fsck", str(path), "--repair"]) == 2
+        assert "REPRO_LOCK_STALE_S" in capsys.readouterr().err
