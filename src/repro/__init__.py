@@ -31,12 +31,15 @@ from repro.core import (
     square_tile,
 )
 from repro.cache import (
+    AssocScanCache,
     CacheHierarchy,
     CacheParams,
     DirectMappedCache,
+    EngineSupport,
     SetAssociativeCache,
     ULTRASPARC2_L1,
     ULTRASPARC2_L2,
+    build_simulator,
 )
 from repro.kernels import KERNELS, Jacobi2D, Jacobi3D, RedBlack3D, Resid, Schedule
 from repro.layout import ArraySpec
@@ -51,11 +54,13 @@ __version__ = "1.0.0"
 __all__ = [
     "ArraySpec",
     "ArrayTile",
+    "AssocScanCache",
     "CacheHierarchy",
     "CacheParams",
     "CheckpointJournal",
     "PointBudget",
     "DirectMappedCache",
+    "EngineSupport",
     "ExperimentConfig",
     "GridHierarchy",
     "Jacobi2D",
@@ -75,6 +80,7 @@ __all__ = [
     "ULTRASPARC2_450",
     "ULTRASPARC2_L1",
     "ULTRASPARC2_L2",
+    "build_simulator",
     "cost",
     "euc3d",
     "gcdpad",

@@ -52,16 +52,43 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cache.assoc_scan import AssocScanCache
 from repro.cache.direct_mapped import DirectMappedCache
 from repro.cache.partition import partition
 from repro.obs import metrics
 
-__all__ = ["HierarchyEngine", "BATCH_TARGET"]
+__all__ = ["HierarchyEngine", "BATCH_TARGET", "shared_partition_applies"]
 
 #: Target addresses per simulated window (128 KB of int64): large
 #: enough to amortize numpy call overhead, small enough that the
 #: partition scatter and segment scans stay cache-resident.
 BATCH_TARGET = 1 << 14
+
+#: Window size for associative-scan levels: the LRU scan replays each
+#: occupied set's carried stack as ghost accesses every window, so its
+#: fixed cost (up to ``num_sets * assoc`` ghosts) wants more
+#: amortization than the direct-mapped scatter does.
+ASSOC_BATCH_TARGET = 1 << 16
+
+
+def shared_partition_applies(levels, params) -> bool:
+    """Whether one L1 partition can serve both levels (see module doc).
+
+    Exactly two direct-mapped levels with equal line size and
+    ``S1 <= S2`` sets: L1's set index is then the low bits of L2's, so
+    a stable partition of L2's demand by ``set2`` can be extracted in
+    L1's sorted space. Shared between the engine and
+    :meth:`CacheHierarchy.engine_support
+    <repro.cache.hierarchy.CacheHierarchy.engine_support>` so the
+    reported mode always matches what the engine will do.
+    """
+    levels = list(levels)
+    params = list(params)
+    return (len(levels) == 2
+            and isinstance(levels[0], DirectMappedCache)
+            and isinstance(levels[1], DirectMappedCache)
+            and params[0].line_bytes == params[1].line_bytes
+            and params[0].num_sets <= params[1].num_sets)
 
 
 class HierarchyEngine:
@@ -88,12 +115,10 @@ class HierarchyEngine:
         self._nlev = len(self._levels)
         self._bufs: list[list[np.ndarray]] = [[] for _ in levels]
         self._pending = [0] * self._nlev
-        self._shared = (
-            self._nlev == 2
-            and isinstance(self._levels[0], DirectMappedCache)
-            and isinstance(self._levels[1], DirectMappedCache)
-            and self._shifts[0] == self._shifts[1]
-            and self._nsets[0] <= self._nsets[1])
+        self._wins = [ASSOC_BATCH_TARGET
+                      if isinstance(lvl, AssocScanCache) else BATCH_TARGET
+                      for lvl in self._levels]
+        self._shared = shared_partition_applies(self._levels, self._params)
 
     @property
     def mode(self) -> str:
@@ -118,7 +143,7 @@ class HierarchyEngine:
             return
         self._bufs[i].append(stream)
         self._pending[i] += stream.size
-        if self._pending[i] >= BATCH_TARGET:
+        if self._pending[i] >= self._wins[i]:
             self._flush_level(i)
 
     def _flush_level(self, i: int) -> None:
@@ -129,8 +154,9 @@ class HierarchyEngine:
         buf.clear()
         self._pending[i] = 0
         forward = i + 1 < self._nlev
-        for s in range(0, batch.size, BATCH_TARGET):
-            demand = self._process(i, batch[s:s + BATCH_TARGET])
+        win = self._wins[i]
+        for s in range(0, batch.size, win):
+            demand = self._process(i, batch[s:s + win])
             if forward and demand is not None:
                 self._feed_level(i + 1, demand)
 
@@ -157,7 +183,9 @@ class HierarchyEngine:
                 return None
             metrics.inc("repro.cache.shared_sort_hits")
             return l_sorted[miss_sorted]
-        if isinstance(lvl, DirectMappedCache):
+        if isinstance(lvl, (DirectMappedCache, AssocScanCache)):
+            # Both expose the same caller-owns-stats partitioned
+            # contract: set_index() + access_grouped(l_sorted, bp).
             lines = window >> self._shifts[i]
             order, bp = partition(lvl.set_index(lines), self._nsets[i],
                                   self._strategy)
@@ -171,5 +199,5 @@ class HierarchyEngine:
             sel = np.zeros(window.size, dtype=bool)
             sel[order[miss_sorted]] = True
             return window[sel]
-        miss = lvl.access(window)   # non-DM levels keep their own path
+        miss = lvl.access(window)   # 2-way levels keep their own path
         return None if last else window[miss]

@@ -31,20 +31,24 @@ zero everything.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cache.assoc_scan import AssocScanCache
 from repro.cache.base import CacheLevel, CacheStats
 from repro.cache.direct_mapped import DirectMappedCache
-from repro.cache.engine import HierarchyEngine
+from repro.cache.engine import HierarchyEngine, shared_partition_applies
+from repro.cache.factory import build_simulator
 from repro.cache.params import CacheParams
-from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.two_way import TwoWayCache
 from repro.errors import ConfigurationError
 from repro.obs import metrics
 from repro.trace.generator import TraceChunk
 
-__all__ = ["WritePolicy", "CacheHierarchy", "HierarchyStats"]
+__all__ = ["WritePolicy", "CacheHierarchy", "HierarchyStats",
+           "EngineSupport", "LevelSupport"]
 
 
 class WritePolicy(enum.Enum):
@@ -88,15 +92,79 @@ class HierarchyStats:
         return "  ".join(parts)
 
 
-def build_level(params: CacheParams) -> CacheLevel:
-    """Pick the fastest simulator able to model ``params``."""
-    if params.is_direct_mapped:
-        return DirectMappedCache(params)
-    if params.assoc == 2:
-        from repro.cache.two_way import TwoWayCache
+#: Warn-once latch for the deprecated ``engine_eligible()`` shim.
+_ELIGIBLE_WARNED = False
 
-        return TwoWayCache(params)
-    return SetAssociativeCache(params)
+
+def build_level(params: CacheParams) -> CacheLevel:
+    """Pick the fastest simulator able to model ``params``.
+
+    Thin wrapper over :func:`repro.cache.factory.build_simulator`, the
+    single home of the geometry→simulator policy.
+    """
+    return build_simulator(params)
+
+
+@dataclass(frozen=True)
+class LevelSupport:
+    """How the batched engine will drive one hierarchy level."""
+
+    #: The level's ``CacheParams.name``.
+    name: str
+    #: ``single_sort`` — one shared partition serves both levels;
+    #: ``per_level`` — own partition + direct-mapped segmented scan;
+    #: ``assoc_scan`` — vectorized exact-LRU path (k-way/fully-assoc
+    #: stack-distance scan, or the 2-way run-head specialization);
+    #: ``legacy`` — per-chunk scalar simulation.
+    mode: str
+    #: Machine-readable cause, mirroring the extrapolation-reason
+    #: pattern (:class:`~repro.experiments.extrapolate.ExtrapolationReport`):
+    #: ``classifiers_attached`` / ``shared_partition`` /
+    #: ``direct_mapped`` / ``two_way_vectorized`` /
+    #: ``set_associative`` / ``fully_associative`` /
+    #: ``scalar_reference``.
+    reason: str
+
+
+@dataclass(frozen=True)
+class EngineSupport:
+    """Typed report of what :meth:`CacheHierarchy.run` will do.
+
+    Replaces the old boolean ``engine_eligible()``: ``eligible`` keeps
+    the single go/no-go bit (may the batched engine drive this run at
+    all), while ``levels`` says *how* each level will be simulated and
+    why — so tooling (``obs-report``, benchmarks, tests) can assert on
+    coverage instead of reverse-engineering it from isinstance checks.
+    """
+
+    #: Whether run() may use the batched engine at all. False only when
+    #: miss classifiers are attached: 3C classification consumes each
+    #: level's per-access miss mask in stream order, which the batched
+    #: engine never materializes.
+    eligible: bool
+    levels: tuple[LevelSupport, ...]
+
+    def level(self, name: str) -> LevelSupport:
+        """The entry for the level named ``name`` (KeyError if absent)."""
+        for ls in self.levels:
+            if ls.name == name:
+                return ls
+        raise KeyError(name)
+
+
+def _level_support(lvl: CacheLevel, params: CacheParams) -> LevelSupport:
+    """Classify one level for the per-level engine path."""
+    if isinstance(lvl, DirectMappedCache):
+        return LevelSupport(params.name, "per_level", "direct_mapped")
+    if isinstance(lvl, TwoWayCache):
+        return LevelSupport(params.name, "assoc_scan", "two_way_vectorized")
+    if isinstance(lvl, AssocScanCache):
+        reason = ("fully_associative" if params.num_sets == 1
+                  else "set_associative")
+        return LevelSupport(params.name, "assoc_scan", reason)
+    # Anything else (e.g. a hand-built SetAssociativeCache) is driven
+    # per-chunk through its own access() — exact but scalar.
+    return LevelSupport(params.name, "legacy", "scalar_reference")
 
 
 class CacheHierarchy:
@@ -256,14 +324,39 @@ class CacheHierarchy:
         return first_miss
 
     # ------------------------------------------------------------------
-    def engine_eligible(self) -> bool:
-        """Whether run() may use the batched engine (no classifiers).
+    def engine_support(self) -> EngineSupport:
+        """Typed per-level report of how :meth:`run` will simulate.
 
-        Miss classification consumes each level's per-access miss mask
-        in stream order; the batched engine never materializes those, so
-        classifier-carrying hierarchies keep the per-chunk path.
+        See :class:`EngineSupport`. The classification mirrors exactly
+        what :class:`~repro.cache.engine.HierarchyEngine` will do —
+        the shared-partition predicate is literally shared code
+        (:func:`~repro.cache.engine.shared_partition_applies`).
         """
-        return all(c is None for c in self._classifiers)
+        if any(c is not None for c in self._classifiers):
+            levels = tuple(
+                LevelSupport(p.name, "legacy", "classifiers_attached")
+                for p in self.params)
+            return EngineSupport(eligible=False, levels=levels)
+        if shared_partition_applies(self._levels, self.params):
+            levels = tuple(
+                LevelSupport(p.name, "single_sort", "shared_partition")
+                for p in self.params)
+            return EngineSupport(eligible=True, levels=levels)
+        return EngineSupport(
+            eligible=True,
+            levels=tuple(_level_support(lvl, p)
+                         for lvl, p in zip(self._levels, self.params)))
+
+    def engine_eligible(self) -> bool:
+        """Deprecated boolean forerunner of :meth:`engine_support`."""
+        global _ELIGIBLE_WARNED
+        if not _ELIGIBLE_WARNED:
+            _ELIGIBLE_WARNED = True
+            warnings.warn(
+                "CacheHierarchy.engine_eligible() is deprecated; use "
+                "engine_support().eligible (and per-level modes) instead",
+                DeprecationWarning, stacklevel=2)
+        return self.engine_support().eligible
 
     def run(self, chunks, on_chunk=None, *,
             partition_strategy: str | None = None) -> HierarchyStats:
@@ -283,7 +376,11 @@ class CacheHierarchy:
         forwards a :func:`repro.cache.partition.partition` override for
         differential tests.
         """
-        if not self.engine_eligible():
+        support = self.engine_support()
+        for ls in support.levels:
+            metrics.inc("repro.cache.engine_level_mode",
+                        level=ls.name, mode=ls.mode)
+        if not support.eligible:
             metrics.inc("repro.cache.engine_runs", mode="legacy")
             for chunk in chunks:
                 if isinstance(chunk, TraceChunk):

@@ -1,12 +1,16 @@
 """Exact LRU set-associative cache simulation (reference model).
 
 This scalar implementation handles arbitrary associativity with true LRU
-replacement. It is the ground truth the vectorized direct-mapped
-simulator is property-tested against (``assoc=1`` here must agree access
-by access), and it supports the associativity studies in
-:mod:`repro.cache.reuse`. It processes a few million accesses per second,
-which is fine for tests and small experiments; the paper sweeps use the
-vectorized path.
+replacement. It is the ground truth every vectorized simulator is
+property-tested against, access by access: the direct-mapped path
+(``assoc=1`` must agree), :class:`~repro.cache.two_way.TwoWayCache`,
+and the general k-way/fully-associative stack-distance scan
+(:class:`~repro.cache.assoc_scan.AssocScanCache`) — which is what
+:func:`repro.cache.build_simulator` actually deploys for associative
+geometries; this class is deliberately never chosen there. It also
+supports the associativity studies in :mod:`repro.cache.reuse`. It
+processes a few million accesses per second, which is fine for tests
+and small experiments; the paper sweeps use the vectorized paths.
 """
 
 from __future__ import annotations

@@ -11,9 +11,8 @@ a convenience simulator choice.
 
 from __future__ import annotations
 
+from repro.cache.factory import build_simulator
 from repro.cache.params import CacheParams
-from repro.cache.set_assoc import SetAssociativeCache
-from repro.cache.two_way import TwoWayCache
 from repro.errors import CacheGeometryError
 
 __all__ = ["tlb_params", "build_tlb", "ULTRASPARC2_DTLB"]
@@ -35,10 +34,13 @@ def tlb_params(entries: int, page_bytes: int = 8192,
 
 
 def build_tlb(params: CacheParams):
-    """Simulator for a TLB geometry (exact LRU; 2-way vectorized)."""
-    if params.assoc == 2:
-        return TwoWayCache(params)
-    return SetAssociativeCache(params)
+    """Simulator for a TLB geometry (exact LRU, vectorized).
+
+    Thin wrapper over :func:`repro.cache.factory.build_simulator`; kept
+    for its name — at a TLB call site "build a TLB" reads better than
+    "build a simulator for the cache-equivalent geometry".
+    """
+    return build_simulator(params)
 
 
 #: UltraSparc2's data TLB: 64 entries, fully associative, 8K pages.

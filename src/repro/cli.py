@@ -7,6 +7,7 @@ Exposes the library's main entry points without writing any Python:
     python -m repro table1
     python -m repro table3 [--full] [--checkpoint PATH] [--budget SEC]
     python -m repro figures --kernel REDBLACK [--full] [--checkpoint PATH]
+    python -m repro lattice --kernel JACOBI --n 300 [--assoc 1 --assoc 2]
     python -m repro fig22
     python -m repro mgrid [--level 7]
     python -m repro section1
@@ -233,6 +234,36 @@ def build_parser() -> argparse.ArgumentParser:
     add_resilience(sp)
     add_perf(sp)
 
+    sp = sub.add_parser("lattice",
+                        help="associativity lattice: strategy x assoc x "
+                             "line size at one N (when does padding "
+                             "stop mattering?)",
+                        parents=[obsopts])
+    sp.add_argument("--kernel", default="JACOBI",
+                    choices=["JACOBI", "REDBLACK", "RESID"])
+    sp.add_argument("--n", type=int, default=300,
+                    help="problem size (default 300, the conflict-prone "
+                         "regime)")
+    sp.add_argument("--strategy", action="append", metavar="NAME",
+                    help="strategy to include (repeatable; default: "
+                         "Orig, GcdPad, Pad)")
+    sp.add_argument("--assoc", type=int, action="append", metavar="A",
+                    help="associativity to include (repeatable; "
+                         "default: 1, 2, 4)")
+    sp.add_argument("--line", type=int, action="append", metavar="BYTES",
+                    help="L1 line size to include (repeatable; "
+                         "default: 32, 64)")
+    sp.add_argument("--csv", metavar="PATH",
+                    help="also dump every lattice cell as CSV")
+    sp.add_argument("--budget", type=float, metavar="SECONDS",
+                    help="per-point wall-clock budget; over-budget "
+                         "points degrade to the analytic miss model")
+    sp.add_argument("--point-timeout", type=float, metavar="SECONDS",
+                    help="per-point wall clock, enforced as a budget "
+                         "(lattice cells run serially)")
+    add_full(sp)
+    add_perf(sp)
+
     sp = sub.add_parser("fig22", help="Figure 22: padding memory overhead",
                         parents=[obsopts])
     add_full(sp)
@@ -432,6 +463,21 @@ def _validate(args) -> None:
             raise ConfigurationError(
                 f"unknown strategy {args.strategy!r}; "
                 f"valid: {', '.join(sorted(STRATEGIES))}")
+    if args.command == "lattice":
+        from repro.core.selector import STRATEGIES
+
+        for strat in args.strategy or []:
+            if strat not in STRATEGIES:
+                raise ConfigurationError(
+                    f"unknown strategy {strat!r}; "
+                    f"valid: {', '.join(sorted(STRATEGIES))}")
+        for a in args.assoc or []:
+            if a < 1:
+                raise ConfigurationError(f"--assoc must be >= 1, got {a}")
+        for line in args.line or []:
+            if line < 8 or line & (line - 1):
+                raise ConfigurationError(
+                    f"--line must be a power of two >= 8 bytes, got {line}")
     if getattr(args, "resume", False):
         if not getattr(args, "checkpoint", None):
             raise ExperimentError("--resume requires --checkpoint PATH")
@@ -738,6 +784,29 @@ def _dispatch(args) -> int:
             pts = [p for series in data.points.values() for p in series]
             path = write_points_csv(pts, args.csv)
             log.info("wrote %d points to %s", len(pts), path)
+
+    elif args.command == "lattice":
+        from repro.experiments.lattice import (
+            DEFAULT_ASSOCS,
+            DEFAULT_LINES,
+            DEFAULT_STRATEGIES,
+            format_lattice,
+            run_lattice,
+            write_lattice_csv,
+        )
+
+        data = run_lattice(
+            args.kernel, args.n,
+            strategies=tuple(args.strategy or DEFAULT_STRATEGIES),
+            assocs=tuple(args.assoc or DEFAULT_ASSOCS),
+            line_sizes=tuple(args.line or DEFAULT_LINES),
+            options=_sweep_options(args))
+        print(format_lattice(data, "l1_rate", "L1 miss rate (%)"))
+        print()
+        print(format_lattice(data, "mflops", "MFlops", gap=False))
+        if args.csv:
+            path = write_lattice_csv(data, args.csv)
+            log.info("wrote %d lattice cells to %s", len(data.cells), path)
 
     elif args.command == "fig22":
         from repro.experiments.fig22 import fig22, format_fig22

@@ -84,7 +84,7 @@ def _ineligibility(sel, hier: CacheHierarchy, specs) -> str | None:
     """The precondition that rules this point out, or ``None``."""
     if sel.tiled:
         return "tiled_schedule"
-    if not hier.engine_eligible():
+    if not hier.engine_support().eligible:
         # Miss classifiers must observe every access; skipped planes
         # would leave the shadow caches stale (see module docstring).
         return "classifiers"

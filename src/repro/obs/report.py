@@ -109,6 +109,10 @@ class RunSummary:
     extrapolation_planes_skipped: int = 0
     #: batched-engine activity from the metrics snapshot: mode -> runs.
     engine_runs: dict[str, int] = field(default_factory=dict)
+    #: per-level engine coverage: level name -> {mode: runs}, from the
+    #: ``repro.cache.engine_level_mode`` counter (the metrics face of
+    #: ``CacheHierarchy.engine_support()``).
+    engine_levels: dict[str, dict[str, int]] = field(default_factory=dict)
     #: partition strategy -> invocation count (metrics snapshot).
     partitions: dict[str, int] = field(default_factory=dict)
     shared_sort_hits: int = 0
@@ -218,6 +222,11 @@ def summarize(events: list[dict], metrics: dict | None = None,
                 strat = labels.get("strategy", "?")
                 s.partitions[strat] = (s.partitions.get(strat, 0)
                                        + int(row.get("value", 0)))
+            elif name == "repro.cache.engine_level_mode":
+                lvl = labels.get("level", "?")
+                mode = labels.get("mode", "?")
+                by = s.engine_levels.setdefault(lvl, {})
+                by[mode] = by.get(mode, 0) + int(row.get("value", 0))
             elif name == "repro.cache.shared_sort_hits":
                 s.shared_sort_hits += int(row.get("value", 0))
             elif name == "repro.integrity.crc_failures":
@@ -275,6 +284,12 @@ def format_report(s: RunSummary) -> str:
         if s.shared_sort_hits:
             line += f", {s.shared_sort_hits} shared-sort batches"
         parts.append(line)
+    if s.engine_levels:
+        per = "; ".join(
+            f"{lvl} [" + ", ".join(f"{n} {m}"
+                                   for m, n in sorted(by.items())) + "]"
+            for lvl, by in sorted(s.engine_levels.items()))
+        parts.append(f"engine support: {per}")
     if s.extrapolation_fired or s.extrapolation_fallback:
         parts.append(
             f"extrapolation: {s.extrapolation_fired} points fired "

@@ -14,12 +14,19 @@ timings exclude the memo and any persistent store: every run is a cold
 simulation. The JSON layout:
 
 * ``points[*].trace_seconds`` — generate and consume the address trace;
-* ``points[*].l1_seconds`` — trace + L1 direct-mapped simulation;
+* ``points[*].l1_seconds`` — trace + L1-only simulation;
 * ``points[*].l2_seconds`` — trace + full hierarchy (L1 and L2);
 * ``points[*].end_to_end_seconds`` — the whole point, exactly what a
   cold ``run_point`` pays;
 * ``points[*].addresses`` / ``addresses_per_second`` — trace length and
-  end-to-end throughput.
+  end-to-end throughput;
+* ``points[*].assoc`` — the L1 associativity benched (``--assoc``
+  widens the grid to same-capacity associative geometries; reports
+  from before the field default to 1 when compared).
+
+``--assoc-speedup A`` additionally times an A-way sweep against the
+scalar exact-LRU reference (:func:`bench_assoc_speedup`) and prints
+the ratio — the perf-smoke job gates it at >= 2x for 2-way.
 
 CI runs this on a small grid and archives the artifact; compare two
 files with a glance at ``addresses_per_second``.
@@ -39,9 +46,10 @@ from typing import Sequence
 from repro.cache.hierarchy import CacheHierarchy
 from repro.perf.timing import best_of
 
-__all__ = ["bench_point", "bench_sweep", "write_bench", "read_bench",
-           "compare_benchmarks", "format_compare", "read_bench_dir",
-           "bench_trend", "format_trend", "main"]
+__all__ = ["bench_point", "bench_sweep", "bench_assoc_speedup",
+           "write_bench", "read_bench", "compare_benchmarks",
+           "format_compare", "read_bench_dir", "bench_trend",
+           "format_trend", "main"]
 
 _SCHEMA_VERSION = 1
 
@@ -59,7 +67,7 @@ def _point_pipeline(kernel: str, strategy: str, n: int, cfg):
     to count it (it used to be, which charged every benched point one
     unmeasured full generation).
     """
-    from repro.cache.direct_mapped import DirectMappedCache
+    from repro.cache.factory import build_simulator
     from repro.core.selector import select
     from repro.experiments.runner import _schedule_for, _simulate_exact
     from repro.kernels import KERNELS
@@ -89,7 +97,7 @@ def _point_pipeline(kernel: str, strategy: str, n: int, cfg):
         return counted["addresses"]
 
     def l1_only():
-        sim = DirectMappedCache(cfg.l1)
+        sim = build_simulator(cfg.l1)
         for chunk in chunks():
             sim.access(chunk.addresses)
 
@@ -102,12 +110,30 @@ def _point_pipeline(kernel: str, strategy: str, n: int, cfg):
     return trace_only, l1_only, full_hierarchy, end_to_end, addresses_fn
 
 
+def _assoc_cfg(cfg, assoc: int):
+    """``cfg`` with its L1 re-shaped to ``assoc`` ways, same capacity."""
+    from dataclasses import replace
+
+    from repro.cache.params import CacheParams
+
+    if assoc == 1:
+        return cfg
+    l1 = cfg.l1
+    return replace(cfg, l1=CacheParams(
+        size_bytes=l1.size_bytes, line_bytes=l1.line_bytes, assoc=assoc,
+        name=f"{l1.name}/{assoc}w"))
+
+
 def bench_point(kernel: str, strategy: str, n: int, cfg=None, *,
-                repeats: int = 3) -> dict:
-    """Stage timings for one (kernel, strategy, N) point."""
+                repeats: int = 3, assoc: int = 1) -> dict:
+    """Stage timings for one (kernel, strategy, N[, assoc]) point.
+
+    ``assoc > 1`` re-shapes the L1 to that many ways (same capacity and
+    line size), exercising the vectorized associative engine path.
+    """
     from repro.experiments.config import ExperimentConfig
 
-    cfg = cfg or ExperimentConfig()
+    cfg = _assoc_cfg(cfg or ExperimentConfig(), assoc)
     trace_fn, l1_fn, l2_fn, end_fn, addresses_fn = _point_pipeline(
         kernel, strategy, n, cfg)
     trace_seconds = best_of(trace_fn, repeats)
@@ -118,6 +144,7 @@ def bench_point(kernel: str, strategy: str, n: int, cfg=None, *,
         "strategy": strategy,
         "n": n,
         "nk": cfg.nk,
+        "assoc": assoc,
         "addresses": addresses,
         "trace_seconds": trace_seconds,
         "l1_seconds": best_of(l1_fn, repeats),
@@ -130,16 +157,18 @@ def bench_point(kernel: str, strategy: str, n: int, cfg=None, *,
 def bench_sweep(kernels: Sequence[str] = DEFAULT_KERNELS,
                 strategies: Sequence[str] = DEFAULT_STRATEGIES,
                 sizes: Sequence[int] = (96,),
-                cfg=None, *, repeats: int = 3) -> dict:
-    """Bench every (kernel, strategy, N) point; return the report dict."""
+                cfg=None, *, repeats: int = 3,
+                assocs: Sequence[int] = (1,)) -> dict:
+    """Bench every (kernel, strategy, N, assoc) point; return the report."""
     import numpy
 
     from repro.experiments.config import ExperimentConfig
     from repro.experiments.runner import config_fingerprint
 
     cfg = cfg or ExperimentConfig()
-    points = [bench_point(k, s, n, cfg, repeats=repeats)
-              for k in kernels for s in strategies for n in sizes]
+    points = [bench_point(k, s, n, cfg, repeats=repeats, assoc=a)
+              for k in kernels for s in strategies for n in sizes
+              for a in assocs]
     return {
         "v": _SCHEMA_VERSION,
         "fingerprint": config_fingerprint(cfg),
@@ -151,6 +180,63 @@ def bench_sweep(kernels: Sequence[str] = DEFAULT_KERNELS,
             "machine": platform.machine(),
         },
         "points": points,
+    }
+
+
+def bench_assoc_speedup(kernel: str = "JACOBI", strategy: str = "Orig",
+                        n: int = 96, cfg=None, *, assoc: int = 2,
+                        repeats: int = 2) -> dict:
+    """Vectorized associative engine vs the scalar exact-LRU reference.
+
+    Materializes one point's trace, then times the full L1+L2 hierarchy
+    over it two ways: through :meth:`CacheHierarchy.run` (the batched
+    engine driving the vectorized simulators that
+    :func:`repro.cache.build_simulator` picks for the ``assoc``-way L1),
+    and chunk-by-chunk with a scalar
+    :class:`~repro.cache.set_assoc.SetAssociativeCache` L1 — the
+    exact-LRU reference the vectorized path is differentially tested
+    against. Trace generation is identical on both sides and excluded,
+    so ``speedup`` isolates simulation cost.
+    """
+    from repro.cache.factory import build_simulator
+    from repro.cache.set_assoc import SetAssociativeCache
+    from repro.core.selector import select
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import _schedule_for
+    from repro.kernels import KERNELS
+
+    cfg = _assoc_cfg(cfg or ExperimentConfig(), assoc)
+    kern = KERNELS[kernel](n, cfg.nk, elem_bytes=cfg.elem_bytes)
+    meta = kern.meta
+    sel = select(strategy, cfg.cs, n, n, mi=meta.mi, mj=meta.mj,
+                 atd=meta.atd)
+    schedule = _schedule_for(strategy, kernel, sel)
+    inter_pad = cfg.cs if cfg.inter_pad else None
+    chunks = [chunk.addresses.copy()
+              for chunk in kern.trace(sel, schedule,
+                                      inter_pad_cache=inter_pad,
+                                      structured=True)]
+    addresses = sum(int(c.size) for c in chunks)
+
+    def fast():
+        CacheHierarchy(cfg.levels).run(chunks)
+
+    def reference():
+        levels = [SetAssociativeCache(cfg.l1),
+                  *(build_simulator(p) for p in cfg.levels[1:])]
+        for addrs in chunks:
+            cur = addrs
+            for lvl in levels:
+                miss = lvl.access(cur)
+                cur = cur[miss]
+
+    fast_s = best_of(fast, repeats)
+    ref_s = best_of(reference, repeats)
+    return {
+        "kernel": kernel, "strategy": strategy, "n": n, "nk": cfg.nk,
+        "assoc": assoc, "addresses": addresses,
+        "fast_seconds": fast_s, "reference_seconds": ref_s,
+        "speedup": (ref_s / fast_s) if fast_s > 0 else None,
     }
 
 
@@ -184,8 +270,10 @@ def read_bench(path) -> dict:
 
 
 def _point_key(pt: dict) -> tuple:
+    # assoc defaults to 1 so reports written before the field existed
+    # still match their direct-mapped successors.
     return (pt.get("kernel"), pt.get("strategy"), pt.get("n"),
-            pt.get("nk"))
+            pt.get("nk"), pt.get("assoc", 1))
 
 
 def compare_benchmarks(old: dict, new: dict) -> dict:
@@ -209,7 +297,7 @@ def compare_benchmarks(old: dict, new: dict) -> dict:
         n_rate = float(nw.get("addresses_per_second") or 0.0)
         rows.append({
             "kernel": key[0], "strategy": key[1], "n": key[2],
-            "nk": key[3],
+            "nk": key[3], "assoc": key[4],
             "old_addresses_per_second": o_rate,
             "new_addresses_per_second": n_rate,
             "speedup": (n_rate / o_rate) if o_rate > 0 else None,
@@ -239,18 +327,21 @@ def format_compare(cmp: dict) -> str:
                      "speedups are not meaningful")
     if not cmp["host_match"]:
         lines.append("note: host platforms differ (python/numpy/machine)")
-    lines.append(f"{'kernel':8s} {'strategy':8s} {'N':>4s}  "
+    lines.append(f"{'kernel':8s} {'strategy':8s} {'N':>4s} {'A':>2s}  "
                  f"{'old addr/s':>12s}  {'new addr/s':>12s}  {'speedup':>8s}")
     for r in sorted(cmp["points"],
-                    key=lambda r: (r["kernel"], r["strategy"], r["n"])):
+                    key=lambda r: (r["kernel"], r["strategy"], r["n"],
+                                   r.get("assoc", 1))):
         spd = f"{r['speedup']:.2f}x" if r["speedup"] else "n/a"
-        lines.append(f"{r['kernel']:8s} {r['strategy']:8s} {r['n']:>4d}  "
+        lines.append(f"{r['kernel']:8s} {r['strategy']:8s} {r['n']:>4d} "
+                     f"{r.get('assoc', 1):>2d}  "
                      f"{r['old_addresses_per_second']:>12.3e}  "
                      f"{r['new_addresses_per_second']:>12.3e}  {spd:>8s}")
     for label, keys in (("only in OLD", cmp["only_old"]),
                         ("only in NEW", cmp["only_new"])):
         for k in keys:
-            lines.append(f"{label}: {k[0]}/{k[1]} N={k[2]} NK={k[3]}")
+            lines.append(f"{label}: {k[0]}/{k[1]} N={k[2]} NK={k[3]} "
+                         f"A={k[4] if len(k) > 4 else 1}")
     if cmp["geomean_speedup"]:
         lines.append(f"geomean speedup: {cmp['geomean_speedup']:.2f}x "
                      f"over {len(cmp['points'])} common point(s)")
@@ -319,6 +410,7 @@ def bench_trend(reports: list[dict]) -> dict:
         base = median(history[key]) if key in history else None
         rows.append({
             "kernel": key[0], "strategy": key[1], "n": key[2], "nk": key[3],
+            "assoc": key[4],
             "latest_seconds": secs,
             "median_seconds": base,
             "history": len(history.get(key, [])),
@@ -345,19 +437,21 @@ def format_trend(trend: dict, gate: float | None = None) -> str:
                      "history — deltas mix workload and perf changes")
     lines.append(f"trend over {trend['reports']} report(s); "
                  f"latest: {trend.get('latest_path') or '?'}")
-    lines.append(f"{'kernel':8s} {'strategy':8s} {'N':>4s}  "
+    lines.append(f"{'kernel':8s} {'strategy':8s} {'N':>4s} {'A':>2s}  "
                  f"{'latest s':>9s}  {'median s':>9s}  {'hist':>4s}  "
                  f"{'delta':>8s}")
     worst = None
     for r in sorted(trend["points"],
-                    key=lambda r: (r["kernel"], r["strategy"], r["n"])):
+                    key=lambda r: (r["kernel"], r["strategy"], r["n"],
+                                   r.get("assoc", 1))):
         base = (f"{r['median_seconds']:.3f}"
                 if r["median_seconds"] is not None else "-")
         pct = r["regressed_pct"]
         delta = f"{pct:+.1f}%" if pct is not None else "n/a"
         if pct is not None and (worst is None or pct > worst):
             worst = pct
-        lines.append(f"{r['kernel']:8s} {r['strategy']:8s} {r['n']:>4d}  "
+        lines.append(f"{r['kernel']:8s} {r['strategy']:8s} {r['n']:>4d} "
+                     f"{r.get('assoc', 1):>2d}  "
                      f"{r['latest_seconds']:>9.3f}  {base:>9s}  "
                      f"{r['history']:>4d}  {delta:>8s}")
     if gate is not None and worst is not None:
@@ -380,6 +474,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                         f"{', '.join(DEFAULT_STRATEGIES)})")
     p.add_argument("--n", type=int, action="append", metavar="N",
                    help="problem size(s) to bench (repeatable; default 96)")
+    p.add_argument("--assoc", type=int, action="append", metavar="A",
+                   help="L1 associativities to bench (repeatable; "
+                        "default 1 = the paper's direct-mapped geometry)")
+    p.add_argument("--assoc-speedup", type=int, metavar="A", default=None,
+                   help="also time an A-way sweep against the scalar "
+                        "exact-LRU reference and print the speedup")
     p.add_argument("--repeats", type=int, default=3,
                    help="best-of repeats per timing (default 3)")
     p.add_argument("--out", metavar="PATH", default="BENCH_sweep.json",
@@ -391,6 +491,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = p.parse_args(argv)
     if args.repeats < 1:
         p.error(f"--repeats must be >= 1, got {args.repeats}")
+    for a in (args.assoc or ()):
+        if a < 1:
+            p.error(f"--assoc must be >= 1, got {a}")
+    if args.assoc_speedup is not None and args.assoc_speedup < 2:
+        p.error("--assoc-speedup needs an associative geometry (A >= 2)")
 
     from repro import obs
 
@@ -401,16 +506,31 @@ def main(argv: Sequence[str] | None = None) -> int:
             kernels=tuple(args.kernel or DEFAULT_KERNELS),
             strategies=tuple(args.strategy or DEFAULT_STRATEGIES),
             sizes=tuple(args.n or (96,)),
-            repeats=args.repeats)
+            repeats=args.repeats,
+            assocs=tuple(args.assoc or (1,)))
+        speedup = None
+        if args.assoc_speedup is not None:
+            speedup = bench_assoc_speedup(
+                kernel=(args.kernel or DEFAULT_KERNELS)[0],
+                strategy=(args.strategy or DEFAULT_STRATEGIES)[0],
+                n=(args.n or (96,))[0],
+                assoc=args.assoc_speedup, repeats=args.repeats)
         out = write_bench(report, args.out)
         ses.artifacts["bench"] = str(out)
     for pt in report["points"]:
         print(f"{pt['kernel']:8s} {pt['strategy']:8s} N={pt['n']:<4d} "
+              f"{pt['assoc']}w "
               f"trace {pt['trace_seconds']:.3f}s  "
               f"L1 {pt['l1_seconds']:.3f}s  "
               f"L1+L2 {pt['l2_seconds']:.3f}s  "
               f"end-to-end {pt['end_to_end_seconds']:.3f}s  "
               f"({pt['addresses_per_second']:.2e} addr/s)")
+    if speedup is not None:
+        print(f"assoc speedup: {speedup['kernel']}/{speedup['strategy']} "
+              f"N={speedup['n']} {speedup['assoc']}-way  "
+              f"engine {speedup['fast_seconds']:.3f}s  "
+              f"scalar reference {speedup['reference_seconds']:.3f}s  "
+              f"-> {speedup['speedup']:.2f}x")
     print(f"wrote {out}")
     return 0
 

@@ -42,6 +42,12 @@ GEOMETRIES = {
     # num_sets == 2**15: the int16 narrowing boundary (max key 32767)
     "set_count_boundary": (CacheParams(1 * 1024, 32, 1, "L1"),
                            CacheParams((1 << 15) * 32, 32, 1, "L2")),
+    # 4-way L2 -> AssocScanCache level inside the engine's per-level path
+    "four_way_l2": (CacheParams(4 * 1024, 32, 1, "L1"),
+                    CacheParams(16 * 1024, 32, 4, "L2")),
+    # fully-associative (TLB-shaped) L1 over a direct-mapped L2
+    "fully_assoc_l1": (CacheParams(2 * 1024, 32, 64, "TLB"),
+                       CacheParams(64 * 1024, 32, 1, "L2")),
 }
 
 
@@ -255,6 +261,8 @@ def test_engine_mode_detection():
     assert mode(GEOMETRIES["equal_lines_shared"]) == "shared"
     assert mode(GEOMETRIES["paper_mixed_lines"]) == "per_level"
     assert mode(GEOMETRIES["two_way_l2"]) == "per_level"
+    assert mode(GEOMETRIES["four_way_l2"]) == "per_level"
+    assert mode(GEOMETRIES["fully_assoc_l1"]) == "per_level"
     # S1 > S2 breaks the low-bits containment shared mode needs.
     inverted = (CacheParams(64 * 1024, 64, 1, "L1"),
                 CacheParams(4 * 1024, 64, 1, "L2"))

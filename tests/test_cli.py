@@ -40,6 +40,18 @@ class TestParser:
             ["figures", "--kernel", "RESID", "--checkpoint", "f.jsonl"])
         assert a.checkpoint == "f.jsonl" and not a.resume
 
+    def test_lattice_args(self):
+        a = build_parser().parse_args(
+            ["lattice", "--kernel", "RESID", "--n", "200", "--assoc", "1",
+             "--assoc", "4", "--line", "64", "--strategy", "Orig",
+             "--csv", "lat.csv"])
+        assert a.command == "lattice" and a.kernel == "RESID"
+        assert a.n == 200 and a.assoc == [1, 4] and a.line == [64]
+        assert a.strategy == ["Orig"] and a.csv == "lat.csv"
+        a = build_parser().parse_args(["lattice"])
+        assert a.kernel == "JACOBI" and a.n == 300
+        assert a.assoc is None and a.line is None
+
     def test_parallel_flags(self):
         a = build_parser().parse_args(
             ["table3", "--parallel", "4", "--point-timeout", "30"])
@@ -73,6 +85,14 @@ class TestValidation:
                    ["simulate", "--kernel", "JACOBI", "--strategy", "Nope",
                     "--n", "40"],
                    "unknown strategy")
+
+    def test_lattice_bad_grid(self, capsys):
+        self.check(capsys, ["lattice", "--strategy", "Bogus"],
+                   "unknown strategy")
+        self.check(capsys, ["lattice", "--assoc", "0"],
+                   "--assoc must be >= 1")
+        self.check(capsys, ["lattice", "--line", "48"],
+                   "--line must be a power of two")
 
     def test_out_of_range_level(self, capsys):
         self.check(capsys, ["mgrid", "--level", "1"], "--level")
@@ -124,6 +144,18 @@ class TestCommands:
                      "--strategy", "Tile", "--n", "200"]) == 0
         out = capsys.readouterr().out
         assert "L1 miss rate" in out and "MFlops" in out
+
+    def test_lattice(self, capsys, tmp_path):
+        csv_path = tmp_path / "lat.csv"
+        assert main(["lattice", "--n", "24", "--strategy", "Orig",
+                     "--strategy", "GcdPad", "--assoc", "1", "--assoc", "2",
+                     "--line", "32", "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "L1 miss rate" in out and "1-way" in out and "2-way" in out
+        assert "Padding gap" in out and "MFlops" in out
+        assert csv_path.exists()
+        # header + 2 strategies x 2 assocs x 1 line size
+        assert len(csv_path.read_text().strip().splitlines()) == 5
 
     def test_table1(self, capsys):
         assert main(["table1"]) == 0

@@ -154,6 +154,30 @@ class TestIntegrityLine:
         assert "integrity:" not in format_report(s)
 
 
+class TestEngineSupportLine:
+    """The per-level engine modes reach the obs-report rendering."""
+
+    def test_summarize_collects_level_modes(self):
+        metrics = {"counters": [
+            {"name": "repro.cache.engine_level_mode",
+             "labels": {"level": "L1", "mode": "single_sort"}, "value": 3},
+            {"name": "repro.cache.engine_level_mode",
+             "labels": {"level": "L2", "mode": "single_sort"}, "value": 3},
+            {"name": "repro.cache.engine_level_mode",
+             "labels": {"level": "L1", "mode": "assoc_scan"}, "value": 1},
+        ]}
+        s = summarize([], metrics)
+        assert s.engine_levels == {
+            "L1": {"single_sort": 3, "assoc_scan": 1},
+            "L2": {"single_sort": 3}}
+        out = format_report(s)
+        assert "engine support: L1 [1 assoc_scan, 3 single_sort]; " \
+               "L2 [3 single_sort]" in out
+
+    def test_clean_slate_renders_no_support_line(self):
+        assert "engine support:" not in format_report(summarize([]))
+
+
 def test_events_are_json_serializable_all_the_way(tmp_path):
     """No repr-fallback records in a normal run (schema stays parseable)."""
     runner.clear_cache()

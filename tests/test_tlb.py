@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.assoc_scan import AssocScanCache
 from repro.cache.tlb import ULTRASPARC2_DTLB, build_tlb, tlb_params
 from repro.errors import CacheGeometryError
 
@@ -32,7 +32,7 @@ class TestBehaviour:
     def test_build_tlb_picks_simulator(self):
         from repro.cache.two_way import TwoWayCache
 
-        assert isinstance(build_tlb(tlb_params(8)), SetAssociativeCache)
+        assert isinstance(build_tlb(tlb_params(8)), AssocScanCache)
         assert isinstance(build_tlb(tlb_params(8, assoc=2)), TwoWayCache)
 
     def test_sequential_walk_hits(self):
