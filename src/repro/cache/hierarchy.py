@@ -31,7 +31,6 @@ zero everything.
 from __future__ import annotations
 
 import enum
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,13 +38,17 @@ import numpy as np
 from repro.cache.assoc_scan import AssocScanCache
 from repro.cache.base import CacheLevel, CacheStats
 from repro.cache.direct_mapped import DirectMappedCache
-from repro.cache.engine import HierarchyEngine, shared_partition_applies
+from repro.cache.engine import (
+    HierarchyEngine,
+    shared_partition_applies,
+)
 from repro.cache.factory import build_simulator
 from repro.cache.params import CacheParams
 from repro.cache.two_way import TwoWayCache
 from repro.errors import ConfigurationError
 from repro.obs import metrics
 from repro.trace.generator import TraceChunk
+from repro.trace.runs import RunChunk
 
 __all__ = ["WritePolicy", "CacheHierarchy", "HierarchyStats",
            "EngineSupport", "LevelSupport"]
@@ -92,10 +95,6 @@ class HierarchyStats:
         return "  ".join(parts)
 
 
-#: Warn-once latch for the deprecated ``engine_eligible()`` shim.
-_ELIGIBLE_WARNED = False
-
-
 def build_level(params: CacheParams) -> CacheLevel:
     """Pick the fastest simulator able to model ``params``.
 
@@ -124,6 +123,17 @@ class LevelSupport:
     #: ``set_associative`` / ``fully_associative`` /
     #: ``scalar_reference``.
     reason: str
+    #: How the level consumes :class:`~repro.trace.runs.RunChunk`
+    #: input: ``intervals`` — the closed-form per-run decomposition
+    #: drives ``access_grouped`` directly (conflicting windows still
+    #: materialize, exactly); ``demand`` — the level never sees runs,
+    #: only the flat miss-filtered demand of the level above;
+    #: ``materialize`` — runs are expanded to flat addresses first.
+    run_mode: str = "materialize"
+    #: Why ``run_mode`` was chosen: ``direct_mapped`` / ``lru_scan`` /
+    #: ``miss_filtered`` / ``two_way_path`` / ``scalar_reference`` /
+    #: ``classifiers_attached``.
+    run_reason: str = "classifiers_attached"
 
 
 @dataclass(frozen=True)
@@ -152,19 +162,39 @@ class EngineSupport:
         raise KeyError(name)
 
 
-def _level_support(lvl: CacheLevel, params: CacheParams) -> LevelSupport:
-    """Classify one level for the per-level engine path."""
+def _run_support(lvl: CacheLevel, params: CacheParams,
+                 idx: int) -> tuple[str, str]:
+    """(run_mode, run_reason) for one level (see :class:`LevelSupport`)."""
+    if idx > 0:
+        return "demand", "miss_filtered"
     if isinstance(lvl, DirectMappedCache):
-        return LevelSupport(params.name, "per_level", "direct_mapped")
+        return "intervals", "direct_mapped"
+    if isinstance(lvl, AssocScanCache):
+        return "intervals", "lru_scan"
     if isinstance(lvl, TwoWayCache):
-        return LevelSupport(params.name, "assoc_scan", "two_way_vectorized")
+        return "materialize", "two_way_path"
+    return "materialize", "scalar_reference"
+
+
+def _level_support(lvl: CacheLevel, params: CacheParams,
+                   idx: int) -> LevelSupport:
+    """Classify one level for the per-level engine path."""
+    run_mode, run_reason = _run_support(lvl, params, idx)
+    if isinstance(lvl, DirectMappedCache):
+        return LevelSupport(params.name, "per_level", "direct_mapped",
+                            run_mode, run_reason)
+    if isinstance(lvl, TwoWayCache):
+        return LevelSupport(params.name, "assoc_scan", "two_way_vectorized",
+                            run_mode, run_reason)
     if isinstance(lvl, AssocScanCache):
         reason = ("fully_associative" if params.num_sets == 1
                   else "set_associative")
-        return LevelSupport(params.name, "assoc_scan", reason)
+        return LevelSupport(params.name, "assoc_scan", reason,
+                            run_mode, run_reason)
     # Anything else (e.g. a hand-built SetAssociativeCache) is driven
     # per-chunk through its own access() — exact but scalar.
-    return LevelSupport(params.name, "legacy", "scalar_reference")
+    return LevelSupport(params.name, "legacy", "scalar_reference",
+                        run_mode, run_reason)
 
 
 class CacheHierarchy:
@@ -338,25 +368,20 @@ class CacheHierarchy:
                 for p in self.params)
             return EngineSupport(eligible=False, levels=levels)
         if shared_partition_applies(self._levels, self.params):
+            # Run chunks are still consumed (the engine drops back to
+            # per-level mode on the first one, identical statistics),
+            # so report the run path the levels would actually take.
             levels = tuple(
-                LevelSupport(p.name, "single_sort", "shared_partition")
-                for p in self.params)
+                LevelSupport(p.name, "single_sort", "shared_partition",
+                             *_run_support(lvl, p, idx))
+                for idx, (lvl, p)
+                in enumerate(zip(self._levels, self.params)))
             return EngineSupport(eligible=True, levels=levels)
         return EngineSupport(
             eligible=True,
-            levels=tuple(_level_support(lvl, p)
-                         for lvl, p in zip(self._levels, self.params)))
-
-    def engine_eligible(self) -> bool:
-        """Deprecated boolean forerunner of :meth:`engine_support`."""
-        global _ELIGIBLE_WARNED
-        if not _ELIGIBLE_WARNED:
-            _ELIGIBLE_WARNED = True
-            warnings.warn(
-                "CacheHierarchy.engine_eligible() is deprecated; use "
-                "engine_support().eligible (and per-level modes) instead",
-                DeprecationWarning, stacklevel=2)
-        return self.engine_support().eligible
+            levels=tuple(_level_support(lvl, p, idx)
+                         for idx, (lvl, p)
+                         in enumerate(zip(self._levels, self.params))))
 
     def run(self, chunks, on_chunk=None, *,
             partition_strategy: str | None = None) -> HierarchyStats:
@@ -383,6 +408,8 @@ class CacheHierarchy:
         if not support.eligible:
             metrics.inc("repro.cache.engine_runs", mode="legacy")
             for chunk in chunks:
+                if isinstance(chunk, RunChunk):
+                    chunk = chunk.materialize()
                 if isinstance(chunk, TraceChunk):
                     addrs, w = chunk.pair()
                 elif isinstance(chunk, tuple):
@@ -401,7 +428,15 @@ class CacheHierarchy:
         self._engine = engine
         try:
             for chunk in chunks:
-                if isinstance(chunk, TraceChunk):
+                if isinstance(chunk, RunChunk):
+                    if on_chunk is not None:
+                        on_chunk(chunk)
+                    self.reads += chunk.reads
+                    self.writes += chunk.writes
+                    engine.feed_runs(
+                        chunk.read_bases if around else chunk.bases,
+                        chunk.strides, chunk.counts)
+                elif isinstance(chunk, TraceChunk):
                     if on_chunk is not None:
                         on_chunk(chunk.addresses)
                     self.reads += chunk.reads

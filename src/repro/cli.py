@@ -186,6 +186,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "simulated in full; incompatible with "
                              "--metrics' miss classifiers, which then "
                              "win)")
+        sp.add_argument("--trace-form", choices=["auto", "runs", "flat"],
+                        default="auto",
+                        help="trace representation fed to the simulator "
+                             "(identical statistics): 'runs' = affine "
+                             "(base, stride, count) run compression, "
+                             "'flat' = materialized addresses, 'auto' "
+                             "(default) = runs wherever the point's "
+                             "simulation can consume them")
 
     sp = sub.add_parser("select", help="run one tile-selection strategy",
                         parents=[obsopts])
@@ -292,7 +300,8 @@ def build_parser() -> argparse.ArgumentParser:
                          "(compare only)")
     sp.add_argument("--force", action="store_true",
                     help="compare even when the reports' config "
-                         "fingerprints differ (different workloads; "
+                         "fingerprints or trace forms differ "
+                         "(different workloads or representations; "
                          "speedups are then not meaningful)")
     sp.add_argument("--gate", type=float, metavar="PCT",
                     help="trend only: exit 1 when any point's latest "
@@ -505,6 +514,12 @@ def _validate(args) -> None:
         raise ConfigurationError(
             f"--chunk-size must be >= 0 (0 = unbounded), "
             f"got {args.chunk_size}")
+    if (getattr(args, "trace_form", "auto") == "runs"
+            and getattr(args, "extrapolate", False)):
+        raise ConfigurationError(
+            "--extrapolate replays flat per-plane chunks; "
+            "--trace-form runs cannot be forced with it "
+            "(use auto or flat)")
     if args.command == "bench":
         if args.action == "compare" and not args.new:
             raise ConfigurationError(
@@ -580,7 +595,8 @@ def _sweep_options(args):
         resume_force=getattr(args, "resume_force", False),
         point_cache=getattr(args, "point_cache", None) or None,
         chunk_size=getattr(args, "chunk_size", None),
-        extrapolate=getattr(args, "extrapolate", False))
+        extrapolate=getattr(args, "extrapolate", False),
+        trace_form=getattr(args, "trace_form", "auto"))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -737,10 +753,11 @@ def _dispatch(args) -> int:
 
         policy = None
         if (args.point_cache or args.chunk_size is not None
-                or args.extrapolate):
+                or args.extrapolate or args.trace_form != "auto"):
             policy = PointPolicy(store=open_store(args.point_cache or None),
                                  chunk_size=args.chunk_size,
-                                 extrapolate=args.extrapolate)
+                                 extrapolate=args.extrapolate,
+                                 trace_form=args.trace_form)
         p = run_point(args.kernel, args.strategy, args.n, ExperimentConfig(),
                       policy=policy)
         marker = " [extrapolated]" if p.extrapolated else ""
@@ -831,6 +848,12 @@ def _dispatch(args) -> int:
 
         if args.action == "trend":
             trend = bench_trend(read_bench_dir(args.old))
+            if not trend["trace_form_stable"] and not args.force:
+                raise ExperimentError(
+                    f"trace forms drift across the history "
+                    f"({', '.join(trend['trace_forms'])}): deltas would "
+                    f"mix the representation change with real "
+                    f"regressions; pass --force to trend anyway")
             print(format_trend(trend, gate=args.gate))
             if args.gate is not None and any(
                     row["regressed_pct"] is not None
@@ -844,6 +867,13 @@ def _dispatch(args) -> int:
                 f"config fingerprints differ ({cmp['old_fingerprint']} vs "
                 f"{cmp['new_fingerprint']}): the reports benched "
                 f"different workloads; pass --force to compare anyway")
+        if not cmp["trace_form_match"] and not args.force:
+            raise ExperimentError(
+                f"trace forms differ ({cmp['old_trace_form']} vs "
+                f"{cmp['new_trace_form']}): the reports timed different "
+                f"trace representations, so speedups conflate the form "
+                f"change with real regressions; pass --force to compare "
+                f"anyway")
         print(format_compare(cmp))
 
     elif args.command == "serve":

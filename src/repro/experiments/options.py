@@ -66,6 +66,12 @@ class SweepOptions:
                         (:mod:`repro.experiments.extrapolate`): stop
                         simulating once plane statistics provably
                         repeat; identical results, recorded per point
+    ``trace_form``      ``"auto"`` (default) / ``"runs"`` / ``"flat"``:
+                        how traces reach the simulator. ``auto`` picks
+                        the run-compressed form whenever the point's
+                        simulation can consume it (identical
+                        statistics); forcing a value pins the form for
+                        benchmarking and differential tests
     ==================  ====================================================
     """
 
@@ -77,6 +83,7 @@ class SweepOptions:
     point_cache: "str | os.PathLike | PointStore | None" = None
     chunk_size: int | None = None
     extrapolate: bool = False
+    trace_form: str = "auto"
 
     def __post_init__(self) -> None:
         if self.parallel < 1:
@@ -86,6 +93,7 @@ class SweepOptions:
             raise ConfigurationError(
                 f"point_timeout must be positive, got {self.point_timeout}")
         _check_chunk_size(self.chunk_size)
+        _check_trace_form(self.trace_form, self.extrapolate)
 
     @property
     def plain(self) -> bool:
@@ -93,11 +101,14 @@ class SweepOptions:
 
         ``extrapolate`` routes around the memo too — its results carry
         a provenance flag (``PointResult.extrapolated``) that a memo
-        shared with non-extrapolating callers would misreport.
+        shared with non-extrapolating callers would misreport. A forced
+        ``trace_form`` likewise routes around the memo: both forms are
+        bit-for-bit identical, but benchmarks force a form precisely to
+        *measure* it, and a memo hit would silently measure nothing.
         """
         return (self.checkpoint is None and self.budget is None
                 and self.point_cache is None and self.chunk_size is None
-                and not self.extrapolate)
+                and not self.extrapolate and self.trace_form == "auto")
 
     def point_policy(self, journal=None, store=None) -> "PointPolicy":
         """The per-point policy this sweep implies (serial path).
@@ -107,7 +118,8 @@ class SweepOptions:
         """
         return PointPolicy(budget=self.budget, journal=journal,
                            store=store, chunk_size=self.chunk_size,
-                           extrapolate=self.extrapolate)
+                           extrapolate=self.extrapolate,
+                           trace_form=self.trace_form)
 
 
 @dataclass(frozen=True)
@@ -130,6 +142,9 @@ class PointPolicy:
                     simulating once plane statistics provably repeat
                     (identical results; ``PointResult.extrapolated``
                     records whether it fired)
+    ``trace_form``  ``"auto"`` / ``"runs"`` / ``"flat"`` — how the trace
+                    reaches the simulator (identical statistics; see
+                    :class:`SweepOptions`)
     ==============  ========================================================
 
     The default policy (all fields default) is the memoized exact fast
@@ -143,25 +158,43 @@ class PointPolicy:
     store: "PointStore | None" = None
     chunk_size: int | None = None
     extrapolate: bool = False
+    trace_form: str = "auto"
 
     def __post_init__(self) -> None:
         _check_chunk_size(self.chunk_size)
+        _check_trace_form(self.trace_form, self.extrapolate)
         if self.analytic and (self.budget is not None
                               or self.chunk_size is not None
-                              or self.extrapolate):
+                              or self.extrapolate
+                              or self.trace_form != "auto"):
             raise ConfigurationError(
                 "an analytic policy simulates nothing: budget/chunk_size/"
-                "extrapolate do not apply")
+                "extrapolate/trace_form do not apply")
 
     @property
     def plain(self) -> bool:
         """True when the memoized exact fast path may serve this point."""
         return (not self.analytic and self.budget is None
                 and self.journal is None and self.store is None
-                and self.chunk_size is None and not self.extrapolate)
+                and self.chunk_size is None and not self.extrapolate
+                and self.trace_form == "auto")
 
 
 def _check_chunk_size(chunk_size: int | None) -> None:
     if chunk_size is not None and chunk_size < 0:
         raise ConfigurationError(
             f"chunk_size must be >= 0 (0 = unbounded), got {chunk_size}")
+
+
+def _check_trace_form(trace_form: str, extrapolate: bool) -> None:
+    from repro.trace.generator import TRACE_FORMS
+
+    valid = ("auto",) + TRACE_FORMS
+    if trace_form not in valid:
+        raise ConfigurationError(
+            f"unknown trace_form {trace_form!r}; valid: {valid}")
+    if extrapolate and trace_form == "runs":
+        raise ConfigurationError(
+            "extrapolate consumes per-plane flat chunks; "
+            "trace_form='runs' cannot be forced with it "
+            "(use 'auto' or 'flat')")

@@ -185,6 +185,7 @@ def _simulate_exact(kernel_name: str, strategy: str, n: int,
                     budget: PointBudget | None = None,
                     chunk_size: int | None = None,
                     extrapolate: bool = False,
+                    trace_form: str = "auto",
                     clock=time.monotonic) -> PointResult:
     """One exact trace simulation, optionally under a budget's deadline.
 
@@ -197,6 +198,13 @@ def _simulate_exact(kernel_name: str, strategy: str, n: int,
     simulated. Extrapolation disables the shadow miss classifiers
     (skipped planes could not be classified), so ``--metrics`` points
     keep full simulation even when both are requested.
+
+    ``trace_form`` selects the trace representation (statistics are
+    bit-for-bit identical across forms): ``"auto"`` resolves to the
+    run-compressed form except where a consumer needs materialized
+    chunks anyway — the extrapolation path replays flat per-plane
+    chunks, and attached miss classifiers force the legacy per-chunk
+    loop, which would just re-expand every run.
     """
     faults.tick("simulate")
     kern = _kernel_cls(kernel_name)(n, cfg.nk, elem_bytes=cfg.elem_bytes)
@@ -208,7 +216,11 @@ def _simulate_exact(kernel_name: str, strategy: str, n: int,
                 if budget is not None and budget.bounded else None)
     hier = CacheHierarchy(cfg.levels)
     inter_pad = cfg.cs if cfg.inter_pad else None
-    if metrics.enabled() and not extrapolate:
+    classify = metrics.enabled() and not extrapolate
+    form = trace_form
+    if form == "auto":
+        form = "flat" if (extrapolate or classify) else "runs"
+    if classify:
         # Shadow-LRU miss classification is a Python-loop cost, so it is
         # attached only when a registry is collecting (``--metrics``).
         specs = kern.specs(sel.di_p, sel.dj_p, inter_pad_cache=inter_pad)
@@ -249,7 +261,8 @@ def _simulate_exact(kernel_name: str, strategy: str, n: int,
         else:
             stats = hier.run(
                 kern.trace(sel, schedule, inter_pad_cache=inter_pad,
-                           chunk_size=chunk_size, structured=True),
+                           chunk_size=chunk_size, structured=True,
+                           trace_form=form),
                 on_chunk=on_chunk)
         sp["refs"] = stats.demand_refs
     if metrics.enabled():
@@ -527,7 +540,8 @@ def _compute_point(kernel: str, strategy: str, n: int,
                    cfg: ExperimentConfig,
                    budget: PointBudget | None,
                    chunk_size: int | None = None,
-                   extrapolate: bool = False) -> PointResult:
+                   extrapolate: bool = False,
+                   trace_form: str = "auto") -> PointResult:
     """Exact simulation under ``budget``, degrading to the model.
 
     The shared core of serial resilient execution and the pool worker:
@@ -541,7 +555,8 @@ def _compute_point(kernel: str, strategy: str, n: int,
         result = run_with_retries(
             lambda: _simulate_exact(kernel, strategy, n, cfg,
                                     budget=budget, chunk_size=chunk_size,
-                                    extrapolate=extrapolate, clock=clock),
+                                    extrapolate=extrapolate,
+                                    trace_form=trace_form, clock=clock),
             budget, sleep=faults.active_sleep())
         metrics.inc("repro.runner.points", mode="exact")
         return result
@@ -604,7 +619,7 @@ def run_point(kernel: str, strategy: str, n: int,
 
         result = _compute_point(kernel, strategy, n, cfg,
                                 policy.budget, policy.chunk_size,
-                                policy.extrapolate)
+                                policy.extrapolate, policy.trace_form)
         sp["degraded"] = result.degraded
         payload = _point_to_payload(result)
         if policy.journal is not None:
@@ -626,10 +641,14 @@ def _pool_point_task(args) -> dict:
     supervisor round-trips the payload through :func:`_check_payload`
     before trusting it.
     """
-    kernel, strategy, n, cfg, budget, chunk_size, extrapolate = args
+    # Producers predating trace_form (e.g. the advisor backend) send
+    # 7-tuples; the representation defaults to "auto" for them.
+    (kernel, strategy, n, cfg, budget, chunk_size, extrapolate,
+     *rest) = args
+    trace_form = rest[0] if rest else "auto"
     return _point_to_payload(
         _compute_point(kernel, strategy, n, cfg, budget, chunk_size,
-                       extrapolate))
+                       extrapolate, trace_form))
 
 
 def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
@@ -641,6 +660,7 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
                     point_timeout: float | None,
                     chunk_size: int | None,
                     extrapolate: bool = False,
+                    trace_form: str = "auto",
                     drain: DrainState | None = None,
                     status=None,
                     ) -> dict[str, list[PointResult]]:
@@ -682,7 +702,7 @@ def _sweep_parallel(kernel: str, strategies: list[str], sizes: list[int],
                     journal.record(key, _point_to_payload(hit))
                 continue
             tasks.append((key, (kernel, strategy, n, cfg, budget,
-                                chunk_size, extrapolate)))
+                                chunk_size, extrapolate, trace_form)))
 
     retry_policy = budget or PointBudget()
     policy = PoolPolicy(workers=workers, point_timeout=point_timeout,
@@ -798,6 +818,7 @@ def sweep(kernel: str, strategies: list[str], sizes: list[int],
                                       point_timeout=options.point_timeout,
                                       chunk_size=options.chunk_size,
                                       extrapolate=options.extrapolate,
+                                      trace_form=options.trace_form,
                                       drain=drain, status=status)
                 if status is not None:
                     status.finish()
@@ -809,7 +830,8 @@ def sweep(kernel: str, strategies: list[str], sizes: list[int],
                 budget = PointBudget(wall_seconds=options.point_timeout)
             policy = PointPolicy(budget=budget, journal=journal, store=store,
                                  chunk_size=options.chunk_size,
-                                 extrapolate=options.extrapolate)
+                                 extrapolate=options.extrapolate,
+                                 trace_form=options.trace_form)
             results: dict[str, list[PointResult]] = {}
             completed = 0
             remaining = len(strategies) * len(sizes)

@@ -123,7 +123,8 @@ class StencilKernel(abc.ABC):
               schedule: Schedule | None = None,
               inter_pad_cache: int | None = None,
               chunk_size: int | None = None,
-              structured: bool = False
+              structured: bool = False,
+              trace_form: str = "flat"
               ) -> Iterator:
         """Reference trace for a tile-selection result.
 
@@ -136,7 +137,10 @@ class StencilKernel(abc.ABC):
         memory and batching only, never the reference stream itself.
         With ``structured=True`` chunks are
         :class:`~repro.trace.generator.TraceChunk` objects instead of
-        ``(addresses, is_write)`` pairs.
+        ``(addresses, is_write)`` pairs; ``trace_form="runs"``
+        additionally compresses affine chunks into
+        :class:`~repro.trace.runs.RunChunk` objects (same stream,
+        bit-for-bit).
         """
         from repro.trace.generator import trace_chunks
 
@@ -153,7 +157,8 @@ class StencilKernel(abc.ABC):
         chunks = self.iter_chunks(schedule, ti=ti, tj=tj, tk=tk)
         return trace_chunks(chunks, self.refs(specs),
                             max_addresses=chunk_size,
-                            structured=structured)
+                            structured=structured,
+                            form=trace_form)
 
     # ------------------------------------------------------------------
     # accounting

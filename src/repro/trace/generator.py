@@ -28,7 +28,7 @@ from repro.layout.array import ArraySpec
 from repro.obs import metrics
 
 __all__ = ["Ref", "TraceChunk", "trace_chunks", "kernel_refs",
-           "count_refs", "DEFAULT_CHUNK_ADDRESSES"]
+           "count_refs", "DEFAULT_CHUNK_ADDRESSES", "TRACE_FORMS"]
 
 #: Default bound on addresses per yielded chunk (``2**20`` int64 = 8 MB).
 #: Large enough that numpy call overhead is negligible, small enough
@@ -89,6 +89,11 @@ class TraceChunk:
     @property
     def n_iters(self) -> int:
         return self.matrix.shape[0]
+
+    @property
+    def n_addresses(self) -> int:
+        """Addresses in this chunk (form-agnostic; see ``RunChunk``)."""
+        return self.matrix.size
 
     @property
     def reads(self) -> int:
@@ -160,9 +165,15 @@ def _refs_by_spec(refs: list[Ref]) -> list[tuple[ArraySpec, list]]:
 _FILL_BLOCK_ELEMENTS = 1 << 17
 
 
+#: Valid ``form`` values for :func:`trace_chunks` (``"auto"`` resolves
+#: to one of these before the generator is built).
+TRACE_FORMS = ("flat", "runs")
+
+
 def trace_chunks(iter_chunks, refs: list[Ref],
                  max_addresses: int | None = None,
                  structured: bool = False,
+                 form: str = "flat",
                  ) -> Iterator:
     """Yield program-ordered trace chunks.
 
@@ -173,6 +184,13 @@ def trace_chunks(iter_chunks, refs: list[Ref],
     are :class:`TraceChunk` objects carrying the same stream in matrix
     form (the hierarchy engine consumes those without materializing
     per-address write masks).
+
+    ``form="runs"`` (requires ``structured=True``) compresses each
+    chunk into a :class:`~repro.trace.runs.RunChunk` of per-reference
+    ``(base, stride, count)`` runs when its iteration pattern is affine
+    enough (see :mod:`repro.trace.runs`), falling back to a
+    materialized :class:`TraceChunk` otherwise — consumers see a mix of
+    both forms representing the identical reference stream.
 
     ``max_addresses`` bounds the size of every yielded chunk (and with
     it the peak size of the address matrix built here): ``None`` means
@@ -186,6 +204,11 @@ def trace_chunks(iter_chunks, refs: list[Ref],
     if max_addresses is not None and max_addresses < 0:
         raise TraceError(
             f"max_addresses must be >= 0, got {max_addresses}")
+    if form not in TRACE_FORMS:
+        raise TraceError(
+            f"unknown trace form {form!r}; valid: {TRACE_FORMS}")
+    if form == "runs" and not structured:
+        raise TraceError("form='runs' requires structured=True")
     nrefs = len(refs)
     wmask_row = np.array([r.is_write for r in refs], dtype=bool)
     groups = _refs_by_spec(refs)
@@ -199,10 +222,25 @@ def trace_chunks(iter_chunks, refs: list[Ref],
         iter_chunks = bounded_chunks(iter_chunks,
                                      max(1, max_addresses // nrefs))
 
+    if form == "runs":
+        from repro.trace.runs import compress_iter_chunk
+
     for i, j, k in iter_chunks:
         n = i.size
         if n == 0:
             continue
+        metrics.inc("repro.trace.chunks")
+        metrics.inc("repro.trace.addresses", n * nrefs)
+        if form == "runs":
+            run = compress_iter_chunk(i, j, k, groups, nrefs, wmask_row)
+            if isinstance(run, str):    # fallback reason
+                metrics.inc("repro.trace.run_fallback", reason=run)
+            else:
+                metrics.inc("repro.trace.run_chunks")
+                metrics.inc("repro.trace.runs", run.n_runs)
+                metrics.inc("repro.trace.run_addresses", run.n_addresses)
+                yield run
+                continue
         matrix = np.empty((n, nrefs), dtype=np.int64)
         for s in range(0, n, blk):
             e = min(n, s + blk)
@@ -214,7 +252,5 @@ def trace_chunks(iter_chunks, refs: list[Ref],
                 base *= spec.elem_bytes
                 for col, const in cols:
                     np.add(base, const, out=matrix[s:e, col])
-        metrics.inc("repro.trace.chunks")
-        metrics.inc("repro.trace.addresses", n * nrefs)
         chunk = TraceChunk(matrix, wmask_row)
         yield chunk if structured else chunk.pair()

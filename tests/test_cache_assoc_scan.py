@@ -12,8 +12,6 @@ pins the single-home factory (:func:`build_simulator`) and the typed
 ``engine_eligible()``.
 """
 
-import warnings
-
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -247,20 +245,32 @@ class TestEngineSupport:
         assert all(ls.mode == "legacy" and
                    ls.reason == "classifiers_attached"
                    for ls in support.levels)
+        assert all(ls.run_mode == "materialize" and
+                   ls.run_reason == "classifiers_attached"
+                   for ls in support.levels)
 
-    def test_engine_eligible_shim_warns_once(self):
-        import repro.cache.hierarchy as mod
-
+    def test_engine_eligible_shim_removed(self):
+        """The deprecated ``engine_eligible()`` shim is gone for good."""
         hier = CacheHierarchy([self.L1, self.L2])
-        mod._ELIGIBLE_WARNED = False
-        try:
-            with pytest.warns(DeprecationWarning, match="engine_support"):
-                assert hier.engine_eligible() is True
-            with warnings.catch_warnings():
-                warnings.simplefilter("error")  # second call must be silent
-                assert hier.engine_eligible() is True
-        finally:
-            mod._ELIGIBLE_WARNED = True
+        assert not hasattr(hier, "engine_eligible")
+        assert not hasattr(CacheHierarchy, "engine_eligible")
+
+    def test_run_support_modes_and_reasons(self):
+        support = CacheHierarchy([self.L1, self.L2]).engine_support()
+        l1 = support.level("L1")
+        assert (l1.run_mode, l1.run_reason) == ("intervals", "direct_mapped")
+        # Deeper levels see the demand stream of the level above, never
+        # the runs themselves.
+        l2 = support.level("L2")
+        assert (l2.run_mode, l2.run_reason) == ("demand", "miss_filtered")
+
+        kway = CacheHierarchy([CacheParams(4 * 1024, 16, 4, "L1.4w")])
+        ls = kway.engine_support().level("L1.4w")
+        assert (ls.run_mode, ls.run_reason) == ("intervals", "lru_scan")
+
+        twow = CacheHierarchy([CacheParams(4 * 1024, 16, 2, "L1.2w")])
+        ls = twow.engine_support().level("L1.2w")
+        assert (ls.run_mode, ls.run_reason) == ("materialize", "two_way_path")
 
     @pytest.mark.parametrize("assoc", (4, 64))
     def test_hierarchy_run_matches_scalar_with_assoc_level(self, assoc):
